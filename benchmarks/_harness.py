@@ -1,0 +1,102 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper:
+it runs the relevant simulations, prints the same rows/series the paper
+reports, and saves the text under ``benchmarks/results/`` (consumed by
+EXPERIMENTS.md).
+
+Scale: by default the benchmarks run in *quick* mode (fewer UEs, shorter
+runs) so the whole suite finishes in tens of minutes.  Set
+``REPRO_BENCH_FULL=1`` for paper-scale runs.
+
+Simulations are memoized per process: several figures share the same
+(scheduler, load) sweep, so e.g. Figure 15 and Figure 16 reuse runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro import CellSimulation, SimConfig
+from repro.sim.config import TrafficSpec
+from repro.sim.metrics import SimResult
+
+QUICK = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default seeds/durations per mode.
+LTE_UES = 60 if QUICK else 100
+LTE_DURATION_S = 10.0 if QUICK else 25.0
+NR_UES = 16 if QUICK else 40
+NR_DURATION_S = 4.0 if QUICK else 12.0
+DEFAULT_SEED = 42
+
+_cache: dict = {}
+
+
+def scale(quick_value, full_value):
+    """Pick a parameter by benchmark mode."""
+    return quick_value if QUICK else full_value
+
+
+def run_lte(
+    scheduler: str,
+    load: float = 0.6,
+    num_ues: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
+    **overrides,
+) -> SimResult:
+    """Run (or fetch from cache) one LTE cell simulation."""
+    num_ues = num_ues if num_ues is not None else LTE_UES
+    duration_s = duration_s if duration_s is not None else LTE_DURATION_S
+    key = ("lte", scheduler, load, num_ues, duration_s, seed, tuple(sorted(overrides.items())))
+    if key not in _cache:
+        cfg = SimConfig.lte_default(num_ues=num_ues, load=load, seed=seed, **overrides)
+        _cache[key] = CellSimulation(cfg, scheduler=scheduler).run(duration_s)
+    return _cache[key]
+
+
+def run_nr(
+    scheduler: str,
+    mu: int = 1,
+    load: float = 0.6,
+    mec: bool = False,
+    num_ues: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
+    **overrides,
+) -> SimResult:
+    """Run (or fetch from cache) one 5G NR cell simulation."""
+    num_ues = num_ues if num_ues is not None else NR_UES
+    duration_s = duration_s if duration_s is not None else NR_DURATION_S
+    key = ("nr", scheduler, mu, load, mec, num_ues, duration_s, seed, tuple(sorted(overrides.items())))
+    if key not in _cache:
+        cfg = SimConfig.nr_default(
+            mu=mu, num_ues=num_ues, load=load, seed=seed, mec=mec, **overrides
+        )
+        _cache[key] = CellSimulation(cfg, scheduler=scheduler).run(duration_s)
+    return _cache[key]
+
+
+def record(name: str, text: str) -> str:
+    """Save a rendered figure table under results/ and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    mode = "quick" if QUICK else "full"
+    (RESULTS_DIR / f"{name}.{mode}.txt").write_text(text + "\n")
+    return text
+
+
+def once(benchmark, fn):
+    """Run a figure-regeneration once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def improvement_pct(baseline: float, value: float) -> float:
+    """Relative improvement of ``value`` over ``baseline`` in percent."""
+    if baseline == 0 or baseline != baseline:
+        return float("nan")
+    return (baseline - value) / baseline * 100.0

@@ -1,0 +1,51 @@
+"""Design-choice ablation: HARQ under a lossy radio.
+
+The reliability stack (docs/ARCHITECTURE.md section 6) recovers radio
+losses at three levels.  This ablation turns HARQ off and on under a
+5% transport-block error rate, for UM and AM RLC, quantifying how much
+of the recovery burden each layer absorbs and what that costs in FCT.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+from _harness import once, record, run_lte
+
+LOAD = 0.7
+BLER = 0.05
+
+
+def run_ablation() -> str:
+    rows = []
+    for rlc_mode in ("um", "am"):
+        for harq in (True, False):
+            res = run_lte(
+                "outran",
+                load=LOAD,
+                radio_bler=BLER,
+                rlc_mode=rlc_mode,
+                harq_enabled=harq,
+            )
+            rows.append(
+                [
+                    rlc_mode.upper(),
+                    "on" if harq else "off",
+                    f"{res.avg_fct_ms('S'):.1f}",
+                    f"{res.pctl_fct_ms(95, 'S'):.0f}",
+                    f"{res.avg_fct_ms():.0f}",
+                    res.reassembly_discards,
+                ]
+            )
+    table = format_table(
+        ["RLC", "HARQ", "S avg ms", "S p95 ms", "overall ms", "reassembly discards"],
+        rows,
+        title=f"Ablation -- HARQ under {BLER:.0%} TB error rate (load {LOAD}): "
+        "without HARQ, UM leans on TCP (timeouts) and AM on RLC retx",
+    )
+    return record("ablation_harq", table)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_harq(benchmark):
+    print("\n" + once(benchmark, run_ablation))

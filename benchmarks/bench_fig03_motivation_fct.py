@@ -1,0 +1,61 @@
+"""Figure 3: the motivating benefit of flow scheduling at the xNodeB.
+
+(a) SRJF (clairvoyant flow scheduling) vs the PF baseline: normalized
+short-flow FCT, average and tail.  Paper: SRJF improves the average by
+35% and the 99th percentile by 59% at 60% load.
+
+(b) Buffer-size sensitivity: with a 5x per-UE RLC buffer, PF's short-flow
+FCT inflates (bufferbloat) while SRJF's stays low.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+from _harness import LTE_DURATION_S, once, record, run_lte, scale
+
+LOAD = 0.8  # congested regime, where the motivation bites
+
+
+def run_fig03() -> str:
+    pf = run_lte("pf", load=LOAD)
+    srjf = run_lte("srjf", load=LOAD)
+    rows = []
+    for label, pctl in (("average", None), ("99%-ile", 99.0)):
+        if pctl is None:
+            base, val = pf.avg_fct_ms("S"), srjf.avg_fct_ms("S")
+        else:
+            base, val = pf.pctl_fct_ms(pctl, "S"), srjf.pctl_fct_ms(pctl, "S")
+        rows.append([label, f"{val / base:.2f}", "1.00", f"{(1 - val / base) * 100:.0f}%"])
+    part_a = format_table(
+        ["short FCT", "SRJF (norm.)", "PF", "SRJF gain"],
+        rows,
+        title="Figure 3a -- normalized short-flow FCT, SRJF vs PF "
+        f"(load {LOAD})",
+    )
+
+    rows_b = []
+    for scale_factor in (1, 5):
+        capacity = 128 * scale_factor
+        pf_b = run_lte("pf", load=LOAD, rlc_capacity_sdus=capacity)
+        srjf_b = run_lte("srjf", load=LOAD, rlc_capacity_sdus=capacity)
+        base = run_lte("srjf", load=LOAD, rlc_capacity_sdus=128).avg_fct_ms("S")
+        rows_b.append(
+            [
+                f"x{scale_factor}",
+                f"{srjf_b.avg_fct_ms('S') / base:.2f}",
+                f"{pf_b.avg_fct_ms('S') / base:.2f}",
+            ]
+        )
+    part_b = format_table(
+        ["per-UE buffer", "SRJF", "PF"],
+        rows_b,
+        title="Figure 3b -- short FCT vs per-UE buffer size "
+        "(normalized to SRJF at x1; paper: PF inflates, SRJF steady)",
+    )
+    return record("fig03_motivation_fct", part_a + "\n\n" + part_b)
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_motivation_fct(benchmark):
+    print("\n" + once(benchmark, run_fig03))

@@ -1,0 +1,39 @@
+"""Figure 4: the side-effect of naive flow scheduling at the xNodeB.
+
+SRJF pays for its FCT gains with spectral efficiency (paper: -48%) and
+user fairness (paper: -47%) relative to PF, because it is channel-blind
+and serves one user's flow at a time.  Regenerated as the time-averaged
+SE and fairness plus the relative cost.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+from _harness import once, record, run_lte
+
+LOAD = 0.95  # saturated: the regime where the cost is visible
+
+
+def run_fig04() -> str:
+    pf = run_lte("pf", load=LOAD)
+    srjf = run_lte("srjf", load=LOAD)
+    se_cost = (1 - srjf.mean_se() / pf.mean_se()) * 100
+    fair_cost = (1 - srjf.mean_fairness() / pf.mean_fairness()) * 100
+    table = format_table(
+        ["metric", "PF", "SRJF", "SRJF cost"],
+        [
+            ["spectral efficiency (bit/s/Hz)", f"{pf.mean_se():.2f}",
+             f"{srjf.mean_se():.2f}", f"-{se_cost:.0f}%"],
+            ["fairness index", f"{pf.mean_fairness():.3f}",
+             f"{srjf.mean_fairness():.3f}", f"-{fair_cost:.0f}%"],
+        ],
+        title="Figure 4 -- side-effects of clairvoyant SRJF at the xNodeB "
+        f"(load {LOAD}; paper: -48% SE, -47% fairness)",
+    )
+    return record("fig04_motivation_cost", table)
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_motivation_cost(benchmark):
+    print("\n" + once(benchmark, run_fig04))

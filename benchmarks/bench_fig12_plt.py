@@ -1,0 +1,80 @@
+"""Figures 12, 21, 22: webpage load time, OutRAN vs vanilla (PF) srsRAN.
+
+One UE loads an Alexa-top-20 page repeatedly while all UEs receive heavy
+web-search background traffic; PLT = last-wave network completion plus
+the page's render time.  Paper: OutRAN improves PLT by 14% (626 ms) on
+average and up to 34%, by finishing each short sub-flow sooner.
+
+Quick mode loads the Figure 12 pages (plus wikipedia as a small-page
+control); REPRO_BENCH_FULL=1 loads all twenty.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.sim.webload import measure_plt
+from repro.traffic.webpage import ALEXA_TOP20, PAGES_BY_NAME
+
+from _harness import improvement_pct, once, record, scale
+
+FIG12_PAGES = ("google.com", "youtube.com", "netflix.com", "facebook.com", "reddit.com")
+QUICK_PAGES = ("google.com", "youtube.com", "netflix.com")
+BACKGROUND_LOAD = 0.85
+SEEDS = (1,) if scale(True, False) else (1, 2, 3, 4)
+LOADS_PER_SEED = scale(3, 5)
+
+
+def _plts(scheduler, page):
+    values = []
+    for seed in SEEDS:
+        values.extend(
+            measure_plt(
+                scheduler,
+                page,
+                num_loads=LOADS_PER_SEED,
+                background_load=BACKGROUND_LOAD,
+                seed=seed,
+            )
+        )
+    return np.asarray(values)
+
+
+def run_fig12() -> str:
+    pages = (
+        [PAGES_BY_NAME[name] for name in QUICK_PAGES]
+        + [PAGES_BY_NAME["wikipedia.org"]]
+        if scale(True, False)
+        else list(ALEXA_TOP20)
+    )
+    rows = []
+    gains = []
+    for page in pages:
+        pf = _plts("pf", page)
+        outran = _plts("outran", page)
+        gain = improvement_pct(pf.mean(), outran.mean())
+        gains.append(gain)
+        rows.append(
+            [
+                page.name,
+                f"{pf.mean():.0f}",
+                f"{outran.mean():.0f}",
+                f"{gain:+.0f}%",
+                f"{improvement_pct(np.percentile(pf, 90), np.percentile(outran, 90)):+.0f}%",
+            ]
+        )
+    rows.append(
+        ["AVERAGE", "", "", f"{np.mean(gains):+.0f}%", ""]
+    )
+    table = format_table(
+        ["page", "srsRAN(PF) PLT ms", "OutRAN PLT ms", "mean gain", "p90 gain"],
+        rows,
+        title="Figures 12/21/22 -- page load time under background load "
+        f"{BACKGROUND_LOAD} (paper: 14% avg, up to 34%)",
+    )
+    return record("fig12_plt", table)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_plt(benchmark):
+    print("\n" + once(benchmark, run_fig12))

@@ -1,0 +1,46 @@
+"""Figure 15: LTE FCT across cell loads, five schedulers.
+
+The paper's main cell-scale result (100 UEs, LTE-cellular workload):
+(a) overall average FCT, (b) short-flow 95th percentile, (c) medium-flow
+average, (d) long-flow average -- for PF, SRJF, PSS, CQA, and OutRAN.
+
+Shape targets: OutRAN tracks SRJF on short flows without SRJF's
+long-flow damage; PF inflates with load; the QoS oracles (PSS/CQA) help
+shorts but cost medium flows / fairness.
+"""
+
+import pytest
+
+from repro.analysis.tables import series_table
+
+from _harness import once, record, run_lte, scale
+
+SCHEDULERS = ("pf", "srjf", "pss", "cqa", "outran")
+LOADS = scale((0.5, 0.7, 0.9), (0.4, 0.5, 0.6, 0.7, 0.8, 0.9))
+
+
+def _series(metric) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {}
+    for sched in SCHEDULERS:
+        out[sched] = [f"{metric(run_lte(sched, load=load)):.0f}" for load in LOADS]
+    return out
+
+
+def run_fig15() -> str:
+    panels = [
+        ("(a) overall average FCT (ms)", lambda r: r.avg_fct_ms()),
+        ("(b) short (<=10KB) 95%-ile FCT (ms)", lambda r: r.pctl_fct_ms(95, "S")),
+        ("(c) medium (10KB..0.1MB] average FCT (ms)", lambda r: r.avg_fct_ms("M")),
+        ("(d) long (>0.1MB) average FCT (ms)", lambda r: r.avg_fct_ms("L")),
+    ]
+    parts = []
+    for title, metric in panels:
+        parts.append(
+            series_table("load", list(LOADS), _series(metric), title=f"Figure 15{title}")
+        )
+    return record("fig15_lte_fct", "\n\n".join(parts))
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_lte_fct(benchmark):
+    print("\n" + once(benchmark, run_fig15))

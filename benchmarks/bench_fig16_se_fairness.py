@@ -1,0 +1,47 @@
+"""Figure 16: overall spectral efficiency vs fairness across loads.
+
+Each scheduler traces a (SE, fairness) trajectory as the load rises.
+Shape targets (paper): OutRAN preserves >= 98% of PF's spectral
+efficiency and >= 97% of its fairness; SRJF collapses on both; the QoS
+oracles (PSS/CQA) cost up to 33% SE / 65% fairness.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+from _harness import once, record, run_lte, scale
+
+SCHEDULERS = ("pf", "srjf", "pss", "cqa", "outran")
+LOADS = scale((0.5, 0.7, 0.9), (0.4, 0.5, 0.6, 0.7, 0.8, 0.9))
+
+
+def run_fig16() -> str:
+    rows = []
+    pf_at = {load: run_lte("pf", load=load) for load in LOADS}
+    for sched in SCHEDULERS:
+        for load in LOADS:
+            res = run_lte(sched, load=load)
+            pf = pf_at[load]
+            rows.append(
+                [
+                    sched,
+                    load,
+                    f"{res.mean_se():.2f}",
+                    f"{res.mean_fairness():.3f}",
+                    f"{res.mean_se() / pf.mean_se() * 100:.0f}%",
+                    f"{res.mean_fairness() / pf.mean_fairness() * 100:.0f}%",
+                ]
+            )
+    table = format_table(
+        ["scheduler", "load", "SE bit/s/Hz", "fairness", "SE vs PF", "fair vs PF"],
+        rows,
+        title="Figure 16 -- SE vs fairness across loads "
+        "(paper: OutRAN keeps >=98% SE and >=97% fairness of PF)",
+    )
+    return record("fig16_se_fairness", table)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_se_fairness(benchmark):
+    print("\n" + once(benchmark, run_fig16))

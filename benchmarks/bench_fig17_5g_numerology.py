@@ -1,0 +1,68 @@
+"""Figure 17: impact of OutRAN in 5G across numerologies and server sites.
+
+The paper's 5G table: for each (server placement, numerology) pair at
+10% and 60% cell load, report (1) RTT, (2) average queueing delay,
+(3) short-flow queueing delay, (4) short-flow 95%-ile FCT, PF vs OutRAN.
+
+Shape targets: RTT shrinks with MEC placement and higher numerology;
+at 60% load queue build-up persists and inflates short FCT for PF even
+with the most advanced settings, while OutRAN cuts the short-flow
+queueing delay and tail FCT, improving *more* at higher numerology.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+from _harness import once, record, run_nr, scale
+
+MUS = scale((0, 3), (0, 1, 2, 3))
+LOADS = (0.1, 0.6)
+SLOT_US = {0: 1000, 1: 500, 2: 250, 3: 125}
+
+
+def run_fig17() -> str:
+    rows = []
+    for mec in (False, True):
+        site = "MEC(5ms)" if mec else "Remote(20ms)"
+        for mu in MUS:
+            for load in LOADS:
+                pf = run_nr("pf", mu=mu, load=load, mec=mec)
+                outran = run_nr("outran", mu=mu, load=load, mec=mec)
+                rows.append(
+                    [
+                        site,
+                        f"{mu}/{SLOT_US[mu]}us",
+                        load,
+                        f"{pf.mean_rtt_ms():.0f}",
+                        f"{pf.queue_delay_ms():.1f}",
+                        f"{outran.queue_delay_ms():.1f}",
+                        f"{pf.queue_delay_ms('S'):.1f}",
+                        f"{outran.queue_delay_ms('S'):.1f}",
+                        f"{pf.pctl_fct_ms(95, 'S'):.0f}",
+                        f"{outran.pctl_fct_ms(95, 'S'):.0f}",
+                    ]
+                )
+    table = format_table(
+        [
+            "server",
+            "mu/slot",
+            "load",
+            "RTT ms",
+            "Qdly PF",
+            "Qdly OutRAN",
+            "S-Qdly PF",
+            "S-Qdly OutRAN",
+            "S-p95 PF",
+            "S-p95 OutRAN",
+        ],
+        rows,
+        title="Figure 17 -- 5G: RTT, queueing delay and short tail FCT "
+        "across numerologies and server placement",
+    )
+    return record("fig17_5g_numerology", table)
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_5g_numerology(benchmark):
+    print("\n" + once(benchmark, run_fig17))

@@ -1,0 +1,38 @@
+"""Figure 18a: PF's fairness-window trade-off.
+
+Sweeping Tf from 10 ms to 100 s (plus MT as the limit) traces PF's
+trade-off curve: small Tf behaves like round-robin (high fairness,
+lower SE); very large Tf drifts toward MT (high SE, low fairness).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+from _harness import once, record, run_lte, scale
+
+LOAD = 0.9
+WINDOWS_S = scale((0.01, 1.0, 10.0, 100.0), (0.01, 0.1, 1.0, 10.0, 100.0))
+
+
+def run_fig18a() -> str:
+    rows = []
+    for tf in WINDOWS_S:
+        res = run_lte("pf", load=LOAD, fairness_window_s=tf)
+        rows.append(
+            [f"Tf={tf:g}s", f"{res.mean_se():.3f}", f"{res.mean_fairness():.3f}"]
+        )
+    mt = run_lte("mt", load=LOAD)
+    rows.append(["MT (limit)", f"{mt.mean_se():.3f}", f"{mt.mean_fairness():.3f}"])
+    table = format_table(
+        ["scheduler", "SE bit/s/Hz", "fairness"],
+        rows,
+        title="Figure 18a -- PF across fairness windows "
+        f"(load {LOAD}; paper: large Tf -> MT corner)",
+    )
+    return record("fig18a_fairness_window", table)
+
+
+@pytest.mark.benchmark(group="fig18a")
+def test_fig18a_fairness_window(benchmark):
+    print("\n" + once(benchmark, run_fig18a))

@@ -1,0 +1,91 @@
+"""Figure 19: Colosseum-style RF scenarios (Rome / Boston / POWDER).
+
+The paper deploys OutRAN on the Colosseum wireless testbed with SCOPE RF
+scenarios differing in UE proximity and mobility: four cells x four UEs,
+a 15-RB grid, at three cell loads.  We substitute scenario presets with
+the same defining knobs plus explicit inter-cell interference
+(DESIGN.md section 2) and reproduce the FCT table: overall average,
+short average, short 95%-ile, medium, long -- srsRAN(PF) vs OutRAN.
+
+Shape target: OutRAN improves the average FCT (paper: 32%) and the short
+FCT (paper: 56%) in every scenario at the loaded points without hurting
+long flows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro import MultiCellSimulation, SimConfig
+from repro.phy.interference import hexagonal_neighbors
+from repro.phy.scenarios import SCENARIOS
+
+from _harness import once, record, scale
+
+SCENARIO_NAMES = ("rome", "boston", "powder")
+LOADS = scale((0.5, 0.9), (0.3, 0.6, 0.9))
+DURATION_S = scale(8.0, 20.0)
+NUM_CELLS = scale(2, 4)
+NUM_UES = 4
+
+_cache: dict = {}
+
+
+def _run(scheduler, scenario_name, load):
+    key = (scheduler, scenario_name, load)
+    if key not in _cache:
+        scenario = SCENARIOS[scenario_name].with_overrides(
+            neighbor_cells=hexagonal_neighbors(400.0),
+            neighbor_activity=min(load, 1.0),
+        )
+        cfg = SimConfig.lte_default(
+            num_ues=NUM_UES,
+            load=load,
+            seed=11,
+            bandwidth_mhz=3,  # Colosseum's srsENB runs a 15-RB grid
+            scenario=scenario,
+        )
+        multi = MultiCellSimulation(cfg, scheduler, num_cells=NUM_CELLS)
+        _cache[key] = multi.run(duration_s=DURATION_S)
+    return _cache[key]
+
+
+def run_fig19() -> str:
+    rows = []
+    gains_all, gains_short = [], []
+    for name in SCENARIO_NAMES:
+        for load in LOADS:
+            pf = _run("pf", name, load)
+            outran = _run("outran", name, load)
+            gains_all.append(1 - outran.avg_fct_ms() / pf.avg_fct_ms())
+            gains_short.append(1 - outran.avg_fct_ms("S") / pf.avg_fct_ms("S"))
+            for label, res in (("srsRAN", pf), ("OutRAN", outran)):
+                rows.append(
+                    [
+                        name,
+                        load,
+                        label,
+                        f"{res.avg_fct_ms():.0f}",
+                        f"{res.avg_fct_ms('S'):.0f}",
+                        f"{res.pctl_fct_ms(95, 'S'):.0f}",
+                        f"{res.avg_fct_ms('M'):.0f}",
+                        f"{res.avg_fct_ms('L'):.0f}",
+                    ]
+                )
+    summary = (
+        f"mean gain: overall {np.mean(gains_all) * 100:.0f}%, "
+        f"short {np.mean(gains_short) * 100:.0f}% "
+        "(paper: 32% and 56%)"
+    )
+    table = format_table(
+        ["scenario", "load", "bs", "avg", "S avg", "S p95", "M avg", "L avg"],
+        rows,
+        title=f"Figure 19 -- {NUM_CELLS}-cell Colosseum-style deployment "
+        "(FCT in ms). " + summary,
+    )
+    return record("fig19_colosseum", table)
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19_colosseum(benchmark):
+    print("\n" + once(benchmark, run_fig19))

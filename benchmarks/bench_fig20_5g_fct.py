@@ -1,0 +1,48 @@
+"""Figure 20: 5G FCT across cell loads under the MIRAGE traffic.
+
+The 5G counterpart of Figures 15/16 (gNodeB, 100 MHz, MIRAGE mobile-app
+workload): (a) overall average FCT vs load for PF / SRJF / OutRAN and
+(b) the SE-fairness operating points.
+
+Shape targets (paper / Appendix B): same ordering as LTE except SRJF
+looks best on FCT because the 5G-LENA channel is steadier (SRJF's
+channel blindness costs little) -- while still collapsing fairness.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table, series_table
+
+from _harness import once, record, run_nr, scale
+
+SCHEDULERS = ("pf", "srjf", "outran")
+LOADS = scale((0.5, 0.9), (0.4, 0.6, 0.8, 0.9))
+
+
+def run_fig20() -> str:
+    fct = {
+        sched: [f"{run_nr(sched, load=load).avg_fct_ms():.0f}" for load in LOADS]
+        for sched in SCHEDULERS
+    }
+    part_a = series_table(
+        "load", list(LOADS), fct,
+        title="Figure 20a -- 5G overall average FCT (ms), MIRAGE workload",
+    )
+    rows = []
+    for sched in SCHEDULERS:
+        for load in LOADS:
+            res = run_nr(sched, load=load)
+            rows.append(
+                [sched, load, f"{res.mean_se():.2f}", f"{res.mean_fairness():.3f}"]
+            )
+    part_b = format_table(
+        ["scheduler", "load", "SE bit/s/Hz", "fairness"],
+        rows,
+        title="Figure 20b -- 5G spectral efficiency and fairness",
+    )
+    return record("fig20_5g_fct", part_a + "\n\n" + part_b)
+
+
+@pytest.mark.benchmark(group="fig20")
+def test_fig20_5g_fct(benchmark):
+    print("\n" + once(benchmark, run_fig20))

@@ -1,0 +1,60 @@
+"""Table 1: QoS profiling of mobile applications on a commercial network.
+
+Regenerates the paper's observation table from the QoS registry: every
+internet data application (web, social, video, file transfer) lands on
+the same default best-effort bearer (QCI 6); only VoIP and IMS get
+dedicated treatment.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.net.qos_profile import (
+    APPLICATION_QCI,
+    APPLICATION_TRAFFIC_CLASS,
+    profile_for_application,
+)
+
+from _harness import once, record
+
+
+def run_table1() -> str:
+    rows = []
+    for app in APPLICATION_QCI:
+        profile = profile_for_application(app)
+        if profile.resource_type == "GBR":
+            service = f"GBR = {profile.guaranteed_bitrate_kbps} kbps"
+            bearer = "Dedicated GBR"
+        else:
+            bearer = "Default"
+            service = (
+                "High priority, best-effort"
+                if profile.priority <= 2
+                else "Low priority, best-effort"
+            )
+        rows.append(
+            [
+                app,
+                APPLICATION_TRAFFIC_CLASS[app].value,
+                bearer,
+                profile.qci,
+                service,
+            ]
+        )
+    table = format_table(
+        ["application", "traffic class", "bearer", "QCI", "service"],
+        rows,
+        title="Table 1 -- QoS profiles assigned by a commercial 5G NSA "
+        "network (all data apps share best-effort QCI 6)",
+    )
+    shared = {
+        APPLICATION_QCI[a]
+        for a in ("web_browsing", "social_networking", "tcp_video", "file_transfer")
+    }
+    assert shared == {6}, "Table 1 invariant violated"
+    return record("table1_qos_profiles", table)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_qos_profiles(benchmark):
+    print("\n" + once(benchmark, run_table1))

@@ -1,0 +1,48 @@
+"""Table 2: flow statistics of the QUIC-supported webpages.
+
+Regenerates the paper's per-page statistics from the webpage dataset and
+checks the observation that motivates section 4.2's "Limitation": even
+the largest single QUIC flow (paper: 443 KB at most per flow) is short
+compared to the 1.92 MB average background flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.traffic.distributions import WEBSEARCH
+from repro.traffic.webpage import ALEXA_TOP20, page_flow_sizes
+
+from _harness import once, record
+
+
+def run_table2() -> str:
+    rng = np.random.default_rng(0)
+    rows = []
+    for page in sorted(
+        (p for p in ALEXA_TOP20 if p.supports_quic), key=lambda p: p.page_bytes
+    ):
+        sizes = page_flow_sizes(page, rng)
+        rows.append(
+            [
+                page.name,
+                f"{page.page_bytes / 1e3:.0f}",
+                f"{page.quic_bytes / 1e3:.1f}",
+                page.num_flows,
+                page.num_quic_flows,
+                f"{max(sizes) / 1e3:.0f}",
+            ]
+        )
+    background_mean_kb = WEBSEARCH.mean() / 1e3
+    table = format_table(
+        ["page", "page KB", "QUIC KB", "#flows", "#QUIC", "largest subflow KB"],
+        rows,
+        title="Table 2 -- QUIC-supported webpages "
+        f"(background websearch mean flow = {background_mean_kb:.0f} KB)",
+    )
+    return record("table2_webpage_stats", table)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_webpage_stats(benchmark):
+    print("\n" + once(benchmark, run_table2))

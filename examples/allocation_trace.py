@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Visualize the Figure 1 story with the scheduling trace recorder.
+
+A short flow arrives at a UE that is already mid-way through a bulk
+download (the exact contention of the paper's Figure 1).  Under the
+legacy FIFO buffer the short flow's packets wait behind the bulk queue;
+under OutRAN the per-UE MLFQ serves them first.  The example prints the
+short flow's FCT, the UE's MLFQ head level around the arrival, and an
+ASCII RB-allocation map from the per-TTI trace.
+
+Run:  python examples/allocation_trace.py
+"""
+
+from repro import CellSimulation, SimConfig
+from repro.traffic.generator import FlowSpec
+
+SHORT_START_US = 800_000
+GLYPHS = {0: "#", 1: "B", 2: "C", -1: "."}
+
+
+def run(scheduler):
+    cfg = SimConfig.lte_default(num_ues=3, seed=6, bandwidth_mhz=5)
+    flows = [
+        # UE 0 carries the bulk download AND, later, the short flow.
+        FlowSpec(flow_id=1, ue_index=0, size_bytes=20_000_000, start_us=0),
+        FlowSpec(flow_id=2, ue_index=1, size_bytes=20_000_000, start_us=0),
+        FlowSpec(flow_id=0, ue_index=0, size_bytes=9_000, start_us=SHORT_START_US),
+    ]
+    sim = CellSimulation(cfg, scheduler=scheduler, flows=flows)
+    trace = sim.enb.enable_trace()
+    res = sim.run(duration_s=2.0)
+    short = next(r for r in res.records if r.flow_id == 0)
+    return trace, short
+
+
+def render(trace, short, label):
+    print(f"{label}: short-flow FCT = {short.fct_ms:.1f} ms")
+    start_tti = SHORT_START_US // 1000
+    print("  TTI    head-lvl(UE0)  RBs (# = UE0 carrying the short flow)")
+    for tti in range(start_tti + 8, start_tti + 40, 4):
+        level = trace.head_levels[tti][0]
+        row = "".join(GLYPHS[int(o)] for o in trace.owners[tti])
+        print(f"  {trace.times_us[tti] // 1000:>5} {level:>8}       {row}")
+    print()
+
+
+def main() -> None:
+    for scheduler in ("pf", "outran"):
+        trace, short = run(scheduler)
+        render(trace, short, scheduler)
+    print(
+        "Under PF/FIFO the short flow's packets sit behind UE0's bulk queue\n"
+        "(head level stays 0 in a single-queue buffer but the queue is deep);\n"
+        "under OutRAN the head level jumps to 0 the moment the short flow\n"
+        "arrives and the inter-user pass pulls RBs to UE0 (the '#' rows)."
+    )
+
+
+if __name__ == "__main__":
+    main()

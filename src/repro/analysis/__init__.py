@@ -1,0 +1,26 @@
+"""Result formatting and CDF helpers for the benchmark harness."""
+
+from repro.analysis.cdf import cdf_points, percentile_table
+from repro.analysis.compare import comparison_table, sweep_table
+from repro.analysis.io import load_results, result_to_dict, save_results
+from repro.analysis.tables import format_table, series_table
+from repro.analysis.validation import (
+    validate_doppler_autocorrelation,
+    validate_poisson_arrivals,
+    validate_rayleigh_power,
+)
+
+__all__ = [
+    "cdf_points",
+    "comparison_table",
+    "sweep_table",
+    "percentile_table",
+    "format_table",
+    "series_table",
+    "save_results",
+    "load_results",
+    "result_to_dict",
+    "validate_rayleigh_power",
+    "validate_doppler_autocorrelation",
+    "validate_poisson_arrivals",
+]

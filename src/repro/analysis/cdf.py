@@ -1,0 +1,33 @@
+"""CDF and percentile utilities shared by the benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def cdf_points(
+    values: Sequence[float], num_points: int = 50
+) -> list[tuple[float, float]]:
+    """``(value, P(X <= value))`` pairs suitable for plotting or printing."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return []
+    probs = np.arange(1, arr.size + 1) / arr.size
+    if arr.size <= num_points:
+        return list(zip(arr.tolist(), probs.tolist()))
+    idx = np.unique(
+        np.linspace(0, arr.size - 1, num_points).round().astype(int)
+    )
+    return list(zip(arr[idx].tolist(), probs[idx].tolist()))
+
+
+def percentile_table(
+    values: Sequence[float], percentiles: Sequence[float] = (50, 90, 95, 99)
+) -> dict[float, float]:
+    """Selected percentiles of ``values`` as a dict."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return {p: float("nan") for p in percentiles}
+    return {p: float(np.percentile(arr, p)) for p in percentiles}

@@ -1,0 +1,108 @@
+"""Result serialization: persist and reload run summaries as JSON.
+
+Benchmark sweeps and replication studies produce result objects whose
+raw collectors are not meant to outlive the process.  These helpers
+extract the durable summary of a :class:`~repro.sim.metrics.SimResult`
+(bucketed FCT statistics, SE/fairness, counters, FCT percentile grid)
+into plain dictionaries, write/read them as JSON, and reconstruct a
+read-only view for later analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.sim.metrics import SimResult
+
+_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+_BUCKETS = (None, "S", "M", "L")
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """Durable JSON-safe summary of one run."""
+    fct: dict[str, dict] = {}
+    for bucket in _BUCKETS:
+        key = bucket or "all"
+        values = result.fcts_ms(bucket)
+        fct[key] = {
+            "count": int(values.size),
+            "mean_ms": float(values.mean()) if values.size else None,
+            "percentiles_ms": {
+                str(int(p)): (float(np.percentile(values, p)) if values.size else None)
+                for p in _PERCENTILES
+            },
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "scheduler": result.scheduler_name,
+        "duration_s": result.duration_s,
+        "completed_flows": result.completed_flows,
+        "censored_flows": result.censored_flows,
+        "spectral_efficiency": result.mean_se(),
+        "fairness": result.mean_fairness(),
+        "mean_rtt_ms": result.mean_rtt_ms(),
+        "sdus_dropped": result.sdus_dropped,
+        "decipher_failures": result.decipher_failures,
+        "reassembly_discards": result.reassembly_discards,
+        "fct": fct,
+    }
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """Read-only view over a serialized run summary."""
+
+    data: dict
+
+    @property
+    def scheduler(self) -> str:
+        return self.data["scheduler"]
+
+    @property
+    def completed_flows(self) -> int:
+        return self.data["completed_flows"]
+
+    def avg_fct_ms(self, bucket: Optional[str] = None) -> float:
+        entry = self.data["fct"][bucket or "all"]["mean_ms"]
+        return float("nan") if entry is None else float(entry)
+
+    def pctl_fct_ms(self, percentile: int, bucket: Optional[str] = None) -> float:
+        entry = self.data["fct"][bucket or "all"]["percentiles_ms"].get(
+            str(percentile)
+        )
+        return float("nan") if entry is None else float(entry)
+
+    def mean_se(self) -> float:
+        return float(self.data["spectral_efficiency"])
+
+    def mean_fairness(self) -> float:
+        return float(self.data["fairness"])
+
+
+def save_results(
+    path: Union[str, Path], results: Sequence[SimResult], extra: Optional[dict] = None
+) -> None:
+    """Write a list of run summaries (plus free-form metadata) to JSON."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "meta": extra or {},
+        "results": [result_to_dict(r) for r in results],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_results(path: Union[str, Path]) -> tuple[dict, list[StoredResult]]:
+    """Read summaries back; returns ``(meta, results)``."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema {payload.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return payload.get("meta", {}), [StoredResult(d) for d in payload["results"]]

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for the figure-regeneration benchmarks.
+
+Every benchmark prints the same rows/series the paper's figure or table
+reports; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render one column per named series against a shared x axis."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

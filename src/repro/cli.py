@@ -1,0 +1,129 @@
+"""Command-line interface: run one cell simulation and print/save results.
+
+Examples::
+
+    python -m repro --scheduler outran --load 0.9 --ues 40 --duration 8
+    python -m repro --rat nr --mu 3 --mec --scheduler pf --json out.json
+    python -m repro --compare pf outran srjf --load 0.9
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.compare import comparison_table
+from repro.sim.cell import CellSimulation
+from repro.sim.config import SimConfig, TrafficSpec
+from repro.sim.metrics import SimResult
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OutRAN reproduction: single-cell LTE/5G downlink "
+        "scheduling simulation",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="outran",
+        help="scheduler name: pf, mt, rr, srjf, pss, cqa, outran, "
+        "outran:<eps>, mlfq_strict (default: outran)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs="+",
+        metavar="SCHED",
+        help="run several schedulers on the identical workload and print "
+        "a comparison table (overrides --scheduler)",
+    )
+    parser.add_argument("--rat", choices=("lte", "nr"), default="lte")
+    parser.add_argument("--mu", type=int, default=1, help="NR numerology (nr only)")
+    parser.add_argument("--mec", action="store_true", help="edge server (nr only)")
+    parser.add_argument("--ues", type=int, default=40)
+    parser.add_argument("--load", type=float, default=0.8)
+    parser.add_argument(
+        "--distribution",
+        default=None,
+        help="flow-size distribution (default: per-RAT paper workload)",
+    )
+    parser.add_argument("--duration", type=float, default=8.0, help="seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rlc-mode", choices=("um", "am"), default="um")
+    parser.add_argument("--bler", type=float, default=0.0)
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write a JSON summary to PATH"
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> SimConfig:
+    """Translate parsed CLI arguments into a :class:`SimConfig`."""
+    common = dict(
+        num_ues=args.ues,
+        load=args.load,
+        seed=args.seed,
+        rlc_mode=args.rlc_mode,
+        radio_bler=args.bler,
+    )
+    if args.rat == "nr":
+        cfg = SimConfig.nr_default(mu=args.mu, mec=args.mec, **common)
+    else:
+        cfg = SimConfig.lte_default(**common)
+    if args.distribution:
+        cfg = cfg.with_overrides(
+            traffic=TrafficSpec(distribution=args.distribution, load=args.load)
+        )
+    return cfg
+
+
+def result_summary(result: SimResult) -> dict:
+    """JSON-friendly summary of one run."""
+    return {
+        "scheduler": result.scheduler_name,
+        "duration_s": result.duration_s,
+        "completed_flows": result.completed_flows,
+        "censored_flows": result.censored_flows,
+        "avg_fct_ms": result.avg_fct_ms(),
+        "short_avg_fct_ms": result.avg_fct_ms("S"),
+        "short_p95_fct_ms": result.pctl_fct_ms(95, "S"),
+        "medium_avg_fct_ms": result.avg_fct_ms("M"),
+        "long_avg_fct_ms": result.avg_fct_ms("L"),
+        "spectral_efficiency": result.mean_se(),
+        "fairness": result.mean_fairness(),
+        "sdus_dropped": result.sdus_dropped,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    schedulers = args.compare if args.compare else [args.scheduler]
+    summaries = []
+    results = {}
+    for name in schedulers:
+        cfg = config_from_args(args)
+        sim = CellSimulation(cfg, scheduler=name)
+        result = sim.run(duration_s=args.duration)
+        results[name] = result
+        summaries.append(result_summary(result))
+        if not args.compare:
+            print(result.fct_summary())
+    if args.compare:
+        print(
+            comparison_table(
+                results,
+                title=f"{args.rat.upper()} load={args.load} ues={args.ues} "
+                f"duration={args.duration}s",
+                baseline=schedulers[0],
+            )
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summaries if args.compare else summaries[0], handle, indent=2)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

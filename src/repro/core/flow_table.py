@@ -1,0 +1,111 @@
+"""Per-flow sent-bytes state, keyed by five-tuple (PDCP header inspection).
+
+OutRAN's base station inspects each downlink IP packet before PDCP header
+compression, identifies the flow by its five-tuple, and accumulates
+sent-bytes.  The sent-bytes position within the MLFQ thresholds determines
+the packet's priority level (section 4.2).  The table also implements the
+"priority reset" safeguard of section 6.3 and idle-flow expiry so that a
+new request reusing a five-tuple after a quiet period starts back at the
+top priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.mlfq import MlfqConfig
+from repro.net.packet import FiveTuple
+
+#: Paper section 7: 37 bytes of five-tuple + 4 bytes of sent-bytes counter.
+FLOW_STATE_BYTES = 41
+
+
+@dataclass
+class FlowState:
+    """Mutable per-flow record."""
+
+    five_tuple: FiveTuple
+    sent_bytes: int = 0
+    last_seen_us: int = 0
+    created_us: int = 0
+
+
+class FlowTable:
+    """Hash table of :class:`FlowState`, producing MLFQ levels.
+
+    ``level`` runs 0 (highest priority, P1 in the paper) to
+    ``config.num_queues - 1`` (lowest, PK).
+    """
+
+    def __init__(
+        self,
+        config: MlfqConfig,
+        idle_timeout_us: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.idle_timeout_us = idle_timeout_us
+        self._flows: dict[FiveTuple, FlowState] = {}
+        self.packets_observed = 0
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def observe(self, five_tuple: FiveTuple, payload_bytes: int, now_us: int) -> int:
+        """Account ``payload_bytes`` to the flow; return its MLFQ level.
+
+        The level reflects sent-bytes *before* this packet, matching the
+        PIAS rule: a flow is demoted once its cumulative bytes cross a
+        threshold, so the packet that crosses still ships at the old level.
+        """
+        self.packets_observed += 1
+        state = self._flows.get(five_tuple)
+        if state is None:
+            state = FlowState(five_tuple, created_us=now_us)
+            self._flows[five_tuple] = state
+        elif (
+            self.idle_timeout_us is not None
+            and now_us - state.last_seen_us > self.idle_timeout_us
+        ):
+            # A long-idle five-tuple is a new logical flow (persistent
+            # connections reusing ports, section 4.2 "Limitation").
+            state.sent_bytes = 0
+            state.created_us = now_us
+        level = self.config.level_for_bytes(state.sent_bytes)
+        state.sent_bytes += payload_bytes
+        state.last_seen_us = now_us
+        return level
+
+    def level_of(self, five_tuple: FiveTuple) -> int:
+        """Current level of a known flow (0 if never seen)."""
+        state = self._flows.get(five_tuple)
+        if state is None:
+            return 0
+        return self.config.level_for_bytes(state.sent_bytes)
+
+    def sent_bytes(self, five_tuple: FiveTuple) -> int:
+        """Accumulated sent-bytes of a flow (0 if never seen)."""
+        state = self._flows.get(five_tuple)
+        return 0 if state is None else state.sent_bytes
+
+    def reset_all(self) -> None:
+        """Priority boost (section 6.3): zero every flow's sent-bytes."""
+        for state in self._flows.values():
+            state.sent_bytes = 0
+
+    def expire_idle(self, now_us: int) -> int:
+        """Drop records idle past the timeout; returns how many were freed."""
+        if self.idle_timeout_us is None:
+            return 0
+        dead = [
+            key
+            for key, state in self._flows.items()
+            if now_us - state.last_seen_us > self.idle_timeout_us
+        ]
+        for key in dead:
+            del self._flows[key]
+        return len(dead)
+
+    def state_bytes(self) -> int:
+        """Memory footprint of the table in the paper's accounting."""
+        return FLOW_STATE_BYTES * len(self._flows)

@@ -1,0 +1,454 @@
+"""Event-driven TCP-Cubic flow model (sender + receiver).
+
+The paper's end hosts run TCP-Cubic; what matters to the scheduling study
+is the closed loop -- cwnd growth filling the per-UE RLC buffer
+(bufferbloat), loss at buffer overflow or on the radio, and the resulting
+retransmission dynamics.  The model implements:
+
+* slow start / congestion avoidance with the CUBIC window function
+  (C = 0.4, beta = 0.7, RFC 8312),
+* immediate cumulative ACKs carrying SACK blocks; fast retransmit enters
+  a SACK-driven loss recovery that repairs every known hole within a
+  round trip (a NewReno-only sender repairs one hole per RTT, which
+  collapses throughput after a drop-tail burst), with an RTO fallback
+  with exponential backoff,
+* SRTT/RTTVAR estimation (RFC 6298) driving the RTO.
+
+Connection establishment is not simulated (flows model HTTP exchanges on
+warm connections); an optional ``handshake_rtt`` can add the setup delay.
+Flow completion time is recorded when the *last byte arrives at the
+receiver* -- the paper's FCT definition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.packet import DEFAULT_MSS, FiveTuple, Packet
+from repro.sim.engine import Event, EventEngine
+
+INITIAL_CWND_SEGMENTS = 10
+MIN_RTO_US = 200_000
+MAX_RTO_US = 60_000_000
+CUBIC_C = 0.4
+CUBIC_BETA = 0.7
+DUPACK_THRESHOLD = 3
+
+
+@dataclass
+class CubicState:
+    """CUBIC's per-flow variables (RFC 8312 naming)."""
+
+    w_max_bytes: float = 0.0
+    epoch_start_us: Optional[int] = None
+    k_s: float = 0.0
+    ssthresh_bytes: float = math.inf
+
+    def enter_recovery(self, cwnd_bytes: float) -> float:
+        """On loss: remember W_max, shrink the window; returns new cwnd."""
+        self.w_max_bytes = cwnd_bytes
+        self.epoch_start_us = None
+        new_cwnd = max(cwnd_bytes * CUBIC_BETA, 2.0 * DEFAULT_MSS)
+        self.ssthresh_bytes = new_cwnd
+        return new_cwnd
+
+    def target_bytes(self, now_us: int, cwnd_bytes: float, mss: int) -> float:
+        """CUBIC window target W(t) = C*(t-K)^3 + W_max (in bytes)."""
+        if self.epoch_start_us is None:
+            self.epoch_start_us = now_us
+            if cwnd_bytes < self.w_max_bytes:
+                self.k_s = ((self.w_max_bytes - cwnd_bytes) / mss / CUBIC_C) ** (
+                    1.0 / 3.0
+                )
+            else:
+                self.k_s = 0.0
+                self.w_max_bytes = cwnd_bytes
+        t_s = (now_us - self.epoch_start_us) / 1e6
+        w_mss = CUBIC_C * (t_s - self.k_s) ** 3 + self.w_max_bytes / mss
+        return w_mss * mss
+
+
+class TcpFlow:
+    """Sending side of one downlink flow, living at the remote server."""
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        flow_id: int,
+        five_tuple: FiveTuple,
+        size_bytes: int,
+        route_data: Callable[[Packet], None],
+        mss: int = DEFAULT_MSS,
+        min_rto_us: int = MIN_RTO_US,
+        initial_cwnd_segments: int = INITIAL_CWND_SEGMENTS,
+        on_sender_done: Optional[Callable[["TcpFlow", int], None]] = None,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"flow size must be positive: {size_bytes}")
+        self.engine = engine
+        self.flow_id = flow_id
+        self.five_tuple = five_tuple
+        self.size_bytes = size_bytes
+        self.route_data = route_data
+        self.mss = mss
+        self.min_rto_us = min_rto_us
+        self.on_sender_done = on_sender_done
+
+        self.start_us = engine.now_us
+        self.snd_una = 0  # lowest unacknowledged byte
+        self.snd_nxt = 0  # next new byte to send
+        self.max_sent = 0  # highest byte ever transmitted
+        self.cwnd_bytes = float(initial_cwnd_segments * mss)
+        self.cubic = CubicState()
+        self.dupacks = 0
+        self.recovery_point: Optional[int] = None
+        #: SACK scoreboard: merged, sorted, disjoint byte intervals the
+        #: receiver holds above snd_una.
+        self._sacked: list[list[int]] = []
+        self._retx_time: dict[int, int] = {}  # hole -> last repair time
+        self.srtt_us: Optional[float] = None
+        self.rttvar_us: float = 0.0
+        self.rto_us = 1_000_000
+        self.rto_backoff = 1
+        self._rto_event: Optional[Event] = None
+        self._send_times: dict[int, int] = {}  # seq -> send time (RTT samples)
+        self.done = False
+        self.packets_sent = 0
+        self.retransmits = 0
+
+    # -- sending -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting (call once, at flow arrival time)."""
+        self.start_us = self.engine.now_us
+        self._try_send()
+
+    @property
+    def inflight_bytes(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def sacked_bytes(self) -> int:
+        """Bytes the receiver holds above snd_una (SACK scoreboard)."""
+        una = self.snd_una
+        return sum(e - max(s, una) for s, e in self._sacked if e > una)
+
+    def _is_sacked(self, seq: int) -> bool:
+        """True when byte ``seq`` lies inside a SACKed interval."""
+        from bisect import bisect_right
+
+        idx = bisect_right(self._sacked, [seq + 1]) - 1
+        return idx >= 0 and self._sacked[idx][0] <= seq < self._sacked[idx][1]
+
+    def pipe_bytes(self) -> int:
+        """RFC 6675 pipe estimate: bytes believed to be in the network."""
+        pipe = self.inflight_bytes
+        if self.recovery_point is not None:
+            pipe -= min(self.sacked_bytes, pipe)
+        return pipe
+
+    @property
+    def remaining_bytes(self) -> int:
+        """Bytes not yet acknowledged (the SRJF oracle reads this)."""
+        return self.size_bytes - self.snd_una
+
+    def _try_send(self) -> None:
+        while (
+            not self.done
+            and self.snd_nxt < self.size_bytes
+            and self.pipe_bytes() + self.mss <= self.cwnd_bytes + 1
+        ):
+            length = min(self.mss, self.size_bytes - self.snd_nxt)
+            if self.snd_nxt < self.max_sent and self._is_sacked(self.snd_nxt):
+                # The receiver already holds this segment (SACK) -- skip
+                # instead of re-sending it after a go-back-N.
+                self.snd_nxt += length
+                continue
+            # Bytes below max_sent are retransmissions (Karn: they must
+            # not produce RTT samples, and they count as retx).
+            self._transmit(self.snd_nxt, length, is_retx=self.snd_nxt < self.max_sent)
+            self.snd_nxt += length
+        self._arm_rto()
+
+    def _transmit(self, seq: int, length: int, is_retx: bool) -> None:
+        packet = Packet(
+            self.five_tuple, self.flow_id, seq, length, is_retx=is_retx
+        )
+        packet.sent_us = self.engine.now_us
+        if not is_retx:
+            self._send_times[seq] = self.engine.now_us
+        else:
+            self._send_times.pop(seq, None)  # Karn: no RTT sample on retx
+            self.retransmits += 1
+        self.max_sent = max(self.max_sent, seq + length)
+        self.packets_sent += 1
+        self.route_data(packet)
+
+    # -- ACK processing ------------------------------------------------------
+
+    def on_ack(self, ack_seq: int, sack_blocks: tuple = ()) -> None:
+        """Process a cumulative ACK (with optional SACK blocks)."""
+        if self.done:
+            return
+        now = self.engine.now_us
+        self._register_sacks(sack_blocks)
+        if ack_seq > self.snd_una:
+            self._sample_rtt(ack_seq, now)
+            newly_acked = ack_seq - self.snd_una
+            self.snd_una = ack_seq
+            self.rto_backoff = 1
+            self._trim_sacked()
+            if self.recovery_point is not None:
+                if ack_seq >= self.recovery_point:
+                    # Exit recovery: deflate the dupack-inflated window
+                    # back to ssthresh (NewReno/RFC 6675).
+                    self.recovery_point = None
+                    self.dupacks = 0
+                    self._retx_time.clear()
+                    self.cwnd_bytes = max(
+                        self.cubic.ssthresh_bytes, 2.0 * self.mss
+                    )
+                    self._trim_sacked()
+                else:
+                    # Partial ACK: repair the holes SACK exposes.
+                    self._retransmit_holes()
+            else:
+                self.dupacks = 0
+                self._grow_window(newly_acked, now)
+            if self.snd_una >= self.size_bytes:
+                self._finish(now)
+                return
+            self._try_send()
+        else:
+            self.dupacks += 1
+            if self.dupacks == DUPACK_THRESHOLD and self.recovery_point is None:
+                self._fast_retransmit(now)
+            elif self.recovery_point is not None:
+                # SACK recovery: repair holes and keep the pipe (not the
+                # raw inflight) at cwnd -- no dupack window inflation.
+                self._retransmit_holes()
+                self._try_send()
+
+    def _register_sacks(self, sack_blocks: tuple) -> None:
+        """Merge the ACK's SACK blocks into the interval scoreboard."""
+        if not sack_blocks:
+            return
+        merged = [list(block) for block in self._sacked]
+        merged.extend([int(s), int(e)] for s, e in sack_blocks if e > s)
+        merged.sort()
+        out: list[list[int]] = []
+        for start, end in merged:
+            if out and start <= out[-1][1]:
+                out[-1][1] = max(out[-1][1], end)
+            else:
+                out.append([start, end])
+        self._sacked = out
+
+    def _trim_sacked(self) -> None:
+        """Drop scoreboard intervals at or below the cumulative ACK."""
+        una = self.snd_una
+        trimmed = []
+        for start, end in self._sacked:
+            if end <= una:
+                continue
+            trimmed.append([max(start, una), end])
+        self._sacked = trimmed
+
+    def _retransmit_holes(self, budget: int = 3) -> None:
+        """Retransmit up to ``budget`` un-SACKed holes below recovery.
+
+        Holes are the gaps between scoreboard intervals, walked directly
+        (no per-segment scan).  A hole whose repair was itself lost is
+        retried once ~1.5 smoothed RTTs have passed since the last
+        attempt (otherwise a single lost retransmission stalls the whole
+        recovery until the RTO).
+        """
+        if self.recovery_point is None:
+            return
+        now = self.engine.now_us
+        retry_after = int((self.srtt_us or 50_000) * 1.5)
+        limit = min(self.recovery_point, self.size_bytes)
+        sent = 0
+        cursor = self.snd_una
+        intervals = self._sacked + [[limit, limit]]
+        for start, end in intervals:
+            if sent >= budget or cursor >= limit:
+                break
+            gap_end = min(start, limit)
+            seq = cursor
+            while seq < gap_end and sent < budget:
+                length = min(self.mss, self.size_bytes - seq)
+                if length <= 0:
+                    break
+                last = self._retx_time.get(seq)
+                if last is None or now - last > retry_after:
+                    self._transmit(seq, length, is_retx=True)
+                    self._retx_time[seq] = now
+                    sent += 1
+                seq += self.mss
+            cursor = max(cursor, end)
+
+    def _grow_window(self, newly_acked: int, now_us: int) -> None:
+        if self.cwnd_bytes < self.cubic.ssthresh_bytes:
+            self.cwnd_bytes += newly_acked  # slow start
+        else:
+            target = self.cubic.target_bytes(now_us, self.cwnd_bytes, self.mss)
+            if target > self.cwnd_bytes:
+                self.cwnd_bytes += (
+                    (target - self.cwnd_bytes) / self.cwnd_bytes
+                ) * newly_acked
+            else:
+                self.cwnd_bytes += 0.01 * newly_acked  # TCP-friendly floor
+
+    def _fast_retransmit(self, now_us: int) -> None:
+        self.recovery_point = self.snd_nxt
+        self.cwnd_bytes = self.cubic.enter_recovery(self.cwnd_bytes)
+        self._retx_time.clear()
+        self._retransmit_holes()
+        self._arm_rto()
+
+    def _sample_rtt(self, ack_seq: int, now_us: int) -> None:
+        # Use the send time of the highest fully acked segment we timed.
+        sampled = [
+            (seq, t) for seq, t in self._send_times.items() if seq < ack_seq
+        ]
+        if not sampled:
+            return
+        seq, sent = max(sampled, key=lambda item: item[0])
+        for key, _ in sampled:
+            del self._send_times[key]
+        rtt = now_us - sent
+        if self.srtt_us is None:
+            self.srtt_us = float(rtt)
+            self.rttvar_us = rtt / 2.0
+        else:
+            self.rttvar_us = 0.75 * self.rttvar_us + 0.25 * abs(self.srtt_us - rtt)
+            self.srtt_us = 0.875 * self.srtt_us + 0.125 * rtt
+        self.rto_us = int(
+            min(
+                max(self.srtt_us + 4 * self.rttvar_us, self.min_rto_us),
+                MAX_RTO_US,
+            )
+        )
+
+    # -- RTO -----------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self.done or self.snd_una >= self.size_bytes:
+            return
+        if self.inflight_bytes <= 0 and self.snd_nxt >= self.size_bytes:
+            pass  # everything sent, waiting for last ACKs: keep timer
+        self._rto_event = self.engine.schedule_in(
+            self.rto_us * self.rto_backoff, self._on_rto
+        )
+
+    def _on_rto(self) -> None:
+        if self.done:
+            return
+        self._rto_event = None
+        self.cubic.ssthresh_bytes = max(self.cwnd_bytes / 2.0, 2.0 * self.mss)
+        self.cubic.w_max_bytes = self.cwnd_bytes
+        self.cubic.epoch_start_us = None
+        self.cwnd_bytes = float(2.0 * self.mss)
+        self.dupacks = 0
+        self._retx_time.clear()
+        self.rto_backoff = min(self.rto_backoff * 2, 64)
+        if self.max_sent > self.snd_una:
+            # Stay in SACK-repair mode over everything outstanding: the
+            # scoreboard survives the timeout, so only real holes are
+            # re-sent (no blind go-back-N flood).
+            self.recovery_point = self.max_sent
+            self.snd_nxt = max(self.snd_nxt, self.snd_una)
+            self._retransmit_holes()
+        else:
+            self.recovery_point = None
+            self.snd_nxt = self.snd_una
+        self._try_send()
+
+    def _finish(self, now_us: int) -> None:
+        self.done = True
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self.on_sender_done is not None:
+            self.on_sender_done(self, now_us)
+
+
+class TcpReceiver:
+    """Receiving side at the UE: cumulative ACK generation.
+
+    ``send_ack`` routes an ACK packet onto the uplink; ``on_complete``
+    fires exactly once, when the final byte of the flow has arrived
+    (the FCT instant).
+    """
+
+    def __init__(
+        self,
+        flow_id: int,
+        five_tuple: FiveTuple,
+        size_bytes: int,
+        send_ack: Callable[[Packet], None],
+        on_complete: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.five_tuple = five_tuple
+        self.size_bytes = size_bytes
+        self.send_ack = send_ack
+        self.on_complete = on_complete
+        self.rcv_nxt = 0
+        self._out_of_order: dict[int, int] = {}  # seq -> end_seq
+        self.sack_enabled = True
+        self.completed_us: Optional[int] = None
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_us is not None
+
+    def on_data(self, packet: Packet, now_us: int) -> None:
+        """Process an arriving data packet and emit a cumulative ACK."""
+        self.packets_received += 1
+        if packet.end_seq > self.rcv_nxt:
+            if packet.seq <= self.rcv_nxt:
+                self.rcv_nxt = packet.end_seq
+                # Pull any buffered contiguous segments forward.
+                while self.rcv_nxt in self._out_of_order:
+                    self.rcv_nxt = self._out_of_order.pop(self.rcv_nxt)
+            else:
+                self._out_of_order[packet.seq] = max(
+                    self._out_of_order.get(packet.seq, 0), packet.end_seq
+                )
+        self.bytes_received = self.rcv_nxt
+        if self.rcv_nxt >= self.size_bytes and self.completed_us is None:
+            self.completed_us = now_us
+            if self.on_complete is not None:
+                self.on_complete(now_us)
+        ack = Packet(
+            self.five_tuple.reversed(),
+            self.flow_id,
+            seq=0,
+            payload_bytes=0,
+            is_ack=True,
+            ack_seq=self.rcv_nxt,
+        )
+        if self.sack_enabled:
+            ack.sack_blocks = self.sack_blocks()
+        self.send_ack(ack)
+
+    def sack_blocks(self, limit: int = 4) -> tuple:
+        """Merged out-of-order byte ranges (the SACK option payload)."""
+        if not self._out_of_order:
+            return ()
+        merged: list[list[int]] = []
+        for start, end in sorted(self._out_of_order.items()):
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        return tuple((s, e) for s, e in merged[:limit])

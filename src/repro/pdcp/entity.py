@@ -1,0 +1,117 @@
+"""PDCP entity: header inspection, sequence numbering, ciphering.
+
+Two OutRAN-relevant behaviours live here (sections 4.2 and 4.4):
+
+* **Header inspection** -- before header compression, the entity reads the
+  IP/TCP five-tuple of every downlink packet, updates the per-flow
+  sent-bytes table, and tags the packet with its MLFQ level.
+
+* **Delayed SN numbering & ciphering** -- stock PDCP assigns the sequence
+  number (and ciphers with it as key input) at ingress.  Because OutRAN's
+  MLFQ reorders SDUs *after* ingress, eager numbering would deliver PDUs
+  whose SNs disagree with the receiver's counter, making them
+  undecipherable.  OutRAN therefore numbers-and-ciphers at PDU-build time,
+  just before submission to MAC.  Both modes are implemented; the receiver
+  model drops packets whose SN does not match its expectation window when
+  eager numbering is combined with reordering, demonstrating why the delay
+  is necessary.
+
+Ciphering itself is modelled as an SN-keyed tag check rather than real
+cryptography -- what matters to the system study is the *synchronization*
+of the SN counters, not confidentiality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.flow_table import FlowTable
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class CipheredPdu:
+    """A PDCP PDU as it crosses the air: packet + the SN used as cipher key."""
+
+    packet: Packet
+    sn: int
+    #: SN the transmitter's counter had when ciphering happened; for a
+    #: correctly deciphering receiver this must equal its own counter.
+    cipher_key_sn: int
+
+
+class PdcpEntity:
+    """Transmitting PDCP entity for one UE (one default bearer)."""
+
+    def __init__(self, flow_table: FlowTable, delayed_sn: bool = True) -> None:
+        self.flow_table = flow_table
+        self.delayed_sn = delayed_sn
+        self._ingress_sn = 0  # counter advanced at ingress (eager mode)
+        self._tx_sn = 0  # counter advanced at PDU build (delayed mode)
+
+    def ingress(self, packet: Packet, now_us: int) -> tuple[int, Optional[int]]:
+        """Inspect a downlink packet; return ``(mlfq_level, eager_sn)``.
+
+        ``eager_sn`` is the SN assigned at ingress in stock PDCP mode, or
+        None in delayed mode (the SN is assigned at :meth:`egress`).
+        """
+        level = self.flow_table.observe(
+            packet.five_tuple, packet.payload_bytes, now_us
+        )
+        if self.delayed_sn:
+            return level, None
+        sn = self._ingress_sn
+        self._ingress_sn += 1
+        return level, sn
+
+    def egress(self, packet: Packet, eager_sn: Optional[int]) -> CipheredPdu:
+        """Number & cipher at PDU-build time (Figure 10 step 3).
+
+        In delayed mode the SN is drawn now, so the on-air order equals the
+        SN order and the receiver's counter stays synchronized no matter
+        how the MLFQ reordered the queue.  In eager mode the SN drawn at
+        ingress is used even though the transmission order may differ.
+        """
+        if self.delayed_sn:
+            sn = self._tx_sn
+            self._tx_sn += 1
+            return CipheredPdu(packet=packet, sn=sn, cipher_key_sn=sn)
+        if eager_sn is None:
+            raise ValueError("eager mode requires the SN assigned at ingress")
+        return CipheredPdu(packet=packet, sn=eager_sn, cipher_key_sn=eager_sn)
+
+
+class PdcpReceiver:
+    """Receiving PDCP entity (UE side): decipher and deliver.
+
+    The receiver keeps its own SN counter; a PDU deciphers correctly only
+    when its cipher key SN matches the counter value the receiver derives
+    for it.  In-order delivery (delayed-SN OutRAN or unmodified FIFO)
+    always matches.  Out-of-order arrival with eager numbering fails the
+    check and the packet is dropped -- reproducing the failure OutRAN's
+    delayed numbering prevents.
+    """
+
+    def __init__(self, reorder_window: int = 16) -> None:
+        """``reorder_window``: how far *behind* the expected counter an
+        SN may arrive and still decipher.  Forward jumps (packets lost
+        below PDCP) are always fine -- the receiver reads the SN from the
+        header and advances its counter; it is stale out-of-window SNs
+        (MLFQ reordering with eager numbering) whose inferred COUNT is
+        wrong.  0 demands strict in-order arrival."""
+        if reorder_window < 0:
+            raise ValueError(f"window must be >= 0: {reorder_window}")
+        self.reorder_window = reorder_window
+        self._expected_sn = 0
+        self.delivered = 0
+        self.decipher_failures = 0
+
+    def receive(self, pdu: CipheredPdu) -> Optional[Packet]:
+        """Return the deciphered packet, or None on decipher failure."""
+        if pdu.cipher_key_sn >= self._expected_sn - self.reorder_window:
+            self._expected_sn = max(self._expected_sn, pdu.cipher_key_sn + 1)
+            self.delivered += 1
+            return pdu.packet
+        self.decipher_failures += 1
+        return None

@@ -1,0 +1,74 @@
+"""Inter-cell interference: neighbor base stations raise the noise floor.
+
+Single-cell studies fold other-cell interference into a static margin;
+for multi-cell deployments (the Colosseum four-cell topology) the
+interference a UE sees depends on where it stands relative to the
+neighboring masts and on how loaded those cells are (their *activity
+factor* -- the fraction of TTIs they transmit).
+
+``interference_mw`` computes the received other-cell power for a UE
+position; ``hexagonal_neighbors`` builds the classic first-ring layout.
+The channel model consults these when the scenario declares neighbor
+cells (``ChannelScenario.neighbor_cells``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.phy.channel import pathloss_db
+
+Position = tuple[float, float]
+
+
+def hexagonal_neighbors(inter_site_distance_m: float, ring: int = 1) -> tuple[Position, ...]:
+    """Positions of the neighboring masts on the first hexagonal ring."""
+    if inter_site_distance_m <= 0:
+        raise ValueError(f"ISD must be positive: {inter_site_distance_m}")
+    if ring != 1:
+        raise ValueError("only the first ring is modelled")
+    return tuple(
+        (
+            inter_site_distance_m * math.cos(k * math.pi / 3),
+            inter_site_distance_m * math.sin(k * math.pi / 3),
+        )
+        for k in range(6)
+    )
+
+
+def interference_mw(
+    ue_position: Position,
+    neighbors: Sequence[Position],
+    tx_power_dbm: float,
+    activity: float = 0.5,
+) -> float:
+    """Aggregate other-cell received power (milliwatts) at the UE.
+
+    Each neighbor transmits at ``tx_power_dbm`` for an ``activity``
+    fraction of the time; its signal arrives attenuated by the same
+    path-loss law the serving cell uses.
+    """
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError(f"activity must be in [0, 1]: {activity}")
+    x, y = ue_position
+    total_mw = 0.0
+    for nx, ny in neighbors:
+        distance = math.hypot(x - nx, y - ny)
+        rx_dbm = tx_power_dbm - pathloss_db(distance)
+        total_mw += activity * 10.0 ** (rx_dbm / 10.0)
+    return total_mw
+
+
+def sinr_db_with_interference(
+    rx_dbm: float,
+    noise_dbm: float,
+    ue_position: Position,
+    neighbors: Sequence[Position],
+    tx_power_dbm: float,
+    activity: float = 0.5,
+) -> float:
+    """SINR with an explicit interference-plus-noise denominator."""
+    noise_mw = 10.0 ** (noise_dbm / 10.0)
+    interf_mw = interference_mw(ue_position, neighbors, tx_power_dbm, activity)
+    return rx_dbm - 10.0 * math.log10(noise_mw + interf_mw)

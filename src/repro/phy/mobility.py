@@ -1,0 +1,125 @@
+"""UE mobility models: positions drive path loss over time.
+
+The paper's cell-scale simulations position UEs uniformly at random within
+a 200 m radius of the xNodeB with random-walk mobility at an average
+pedestrian speed of 1.4 m/s (section 6.2); the Colosseum scenarios differ
+in speed and spread (Figure 19).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class MobilityModel(ABC):
+    """Tracks a UE position relative to the base station at the origin."""
+
+    @abstractmethod
+    def distance_m(self) -> float:
+        """Current distance to the base station in meters."""
+
+    @abstractmethod
+    def advance(self, dt_s: float) -> None:
+        """Move the UE forward ``dt_s`` seconds."""
+
+    def position(self) -> tuple[float, float]:
+        """(x, y) in meters; default places the UE on the +x axis."""
+        return self.distance_m(), 0.0
+
+
+class StaticMobility(MobilityModel):
+    """A UE pinned at a fixed distance (optionally at a fixed azimuth)."""
+
+    def __init__(self, distance_m: float, azimuth_rad: float = 0.0) -> None:
+        if distance_m <= 0:
+            raise ValueError(f"distance must be positive: {distance_m}")
+        self._distance_m = distance_m
+        self._azimuth = azimuth_rad
+
+    def distance_m(self) -> float:
+        return self._distance_m
+
+    def position(self) -> tuple[float, float]:
+        return (
+            self._distance_m * math.cos(self._azimuth),
+            self._distance_m * math.sin(self._azimuth),
+        )
+
+    def advance(self, dt_s: float) -> None:
+        pass
+
+
+class RandomWalkMobility(MobilityModel):
+    """Random walk within an annulus around the base station.
+
+    The UE keeps a heading for an exponentially distributed epoch, then
+    turns to a fresh uniform heading.  It reflects off both the outer cell
+    radius and a minimum close-in distance.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        cell_radius_m: float = 200.0,
+        min_distance_m: float = 10.0,
+        speed_mps: float = 1.4,
+        mean_epoch_s: float = 20.0,
+    ) -> None:
+        if not 0 < min_distance_m < cell_radius_m:
+            raise ValueError(
+                f"need 0 < min_distance ({min_distance_m}) < radius ({cell_radius_m})"
+            )
+        if speed_mps < 0:
+            raise ValueError(f"speed must be non-negative: {speed_mps}")
+        self._rng = rng
+        self._radius = cell_radius_m
+        self._min_distance = min_distance_m
+        self._speed = speed_mps
+        self._mean_epoch = mean_epoch_s
+        # Uniform position over the annulus area.
+        r = math.sqrt(
+            rng.uniform(min_distance_m**2, cell_radius_m**2)
+        )
+        theta = rng.uniform(0.0, 2 * math.pi)
+        self._x = r * math.cos(theta)
+        self._y = r * math.sin(theta)
+        self._heading = rng.uniform(0.0, 2 * math.pi)
+        self._epoch_left = rng.exponential(mean_epoch_s)
+
+    def distance_m(self) -> float:
+        return max(math.hypot(self._x, self._y), self._min_distance)
+
+    def position(self) -> tuple[float, float]:
+        """Current (x, y) in meters, base station at the origin."""
+        return self._x, self._y
+
+    def advance(self, dt_s: float) -> None:
+        if dt_s <= 0 or self._speed == 0:
+            return
+        remaining = dt_s
+        while remaining > 0:
+            step = min(remaining, self._epoch_left)
+            self._x += self._speed * step * math.cos(self._heading)
+            self._y += self._speed * step * math.sin(self._heading)
+            self._epoch_left -= step
+            remaining -= step
+            if self._epoch_left <= 0:
+                self._heading = self._rng.uniform(0.0, 2 * math.pi)
+                self._epoch_left = self._rng.exponential(self._mean_epoch)
+            self._reflect()
+
+    def _reflect(self) -> None:
+        dist = math.hypot(self._x, self._y)
+        if dist > self._radius:
+            scale = self._radius / dist
+            self._x *= scale
+            self._y *= scale
+            self._heading += math.pi  # bounce back toward the cell
+        elif dist < self._min_distance and dist > 0:
+            scale = self._min_distance / dist
+            self._x *= scale
+            self._y *= scale
+            self._heading += math.pi

@@ -1,0 +1,151 @@
+"""LTE/NR radio numerology: TTI length, subcarrier spacing, RB grids.
+
+The scheduler's unit of allocation is the Resource Block (RB): one TTI in
+time by one subchannel (12 subcarriers) in frequency.  LTE uses a fixed
+{1 ms, 180 kHz} RB; 5G NR scales both with the numerology ``mu``:
+slot = 1 ms / 2**mu and subcarrier spacing = 15 kHz * 2**mu (3GPP TS
+38.211).  The paper's headline configurations are:
+
+* LTE, 20 MHz  -> 100 RBs per 1 ms TTI.
+* 5G NR, 100 MHz, 30 kHz SCS (mu=1) -> 273 RBs per 500 us slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import US_PER_MS
+
+SUBCARRIERS_PER_RB = 12
+#: OFDM symbols per slot with a normal cyclic prefix (LTE subframe = 14).
+SYMBOLS_PER_SLOT = 14
+#: Fraction of resource elements left for data after PDCCH/DMRS overhead.
+CONTROL_OVERHEAD = 0.138
+
+#: Usable RB counts from 3GPP TS 38.101-1 Table 5.3.2-1 (FR1) and LTE
+#: TS 36.101 Table 5.6-1, keyed by (bandwidth_mhz, scs_khz).
+_RB_TABLE = {
+    (5, 15): 25,
+    (10, 15): 52,
+    (15, 15): 79,
+    (20, 15): 106,
+    (40, 15): 216,
+    (50, 15): 270,
+    (10, 30): 24,
+    (20, 30): 51,
+    (40, 30): 106,
+    (50, 30): 133,
+    (100, 30): 273,
+    (50, 60): 65,
+    (100, 60): 135,
+    (100, 120): 66,
+    (200, 120): 132,
+}
+
+#: LTE transmission-bandwidth configuration (TS 36.101): RBs per MHz.
+_LTE_RB_TABLE = {1.4: 6, 3: 15, 5: 25, 10: 50, 15: 75, 20: 100}
+
+
+class Numerology:
+    """A 3GPP numerology ``mu`` in 0..3 (``mu=0`` also models LTE)."""
+
+    __slots__ = ("mu", "scs_khz", "slot_us", "rb_bandwidth_hz")
+
+    def __init__(self, mu: int) -> None:
+        if not 0 <= mu <= 3:
+            raise ValueError(f"numerology mu must be in 0..3, got {mu}")
+        self.mu = mu
+        self.scs_khz = 15 * (2**mu)
+        self.slot_us = US_PER_MS // (2**mu)
+        self.rb_bandwidth_hz = self.scs_khz * 1000 * SUBCARRIERS_PER_RB
+
+    def __repr__(self) -> str:
+        return f"Numerology(mu={self.mu}, scs={self.scs_khz}kHz, slot={self.slot_us}us)"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Numerology) and other.mu == self.mu
+
+    def __hash__(self) -> int:
+        return hash(("Numerology", self.mu))
+
+
+@dataclass(frozen=True)
+class RadioGrid:
+    """The scheduling grid one xNodeB operates on.
+
+    ``num_rbs`` RBs are allocatable each TTI of length
+    ``numerology.slot_us``.  ``subband_rbs`` groups adjacent RBs that share
+    one fading coefficient (frequency-coherence granularity, and also the
+    CQI sub-band reporting granularity).
+    """
+
+    numerology: Numerology
+    num_rbs: int
+    subband_rbs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_rbs <= 0:
+            raise ValueError(f"num_rbs must be positive: {self.num_rbs}")
+        if self.subband_rbs <= 0:
+            raise ValueError(f"subband_rbs must be positive: {self.subband_rbs}")
+
+    @property
+    def tti_us(self) -> int:
+        """Scheduling interval in microseconds."""
+        return self.numerology.slot_us
+
+    @property
+    def num_subbands(self) -> int:
+        """Number of fading sub-bands covering the grid."""
+        return -(-self.num_rbs // self.subband_rbs)
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Occupied bandwidth of the allocatable RBs."""
+        return self.num_rbs * self.numerology.rb_bandwidth_hz
+
+    def resource_elements_per_rb(self) -> int:
+        """Resource elements in one RB over one slot."""
+        return SUBCARRIERS_PER_RB * SYMBOLS_PER_SLOT
+
+    def data_re_per_rb(self) -> float:
+        """Resource elements usable for data after control overhead."""
+        return self.resource_elements_per_rb() * (1.0 - CONTROL_OVERHEAD)
+
+    def subband_of_rb(self, rb: int) -> int:
+        """Sub-band index covering RB ``rb``."""
+        if not 0 <= rb < self.num_rbs:
+            raise ValueError(f"rb {rb} outside grid of {self.num_rbs}")
+        return rb // self.subband_rbs
+
+    @classmethod
+    def lte(cls, bandwidth_mhz: float = 20.0, subband_rbs: int = 8) -> "RadioGrid":
+        """The LTE grid the paper evaluates: 1 ms TTI, 180 kHz subchannels."""
+        try:
+            num_rbs = _LTE_RB_TABLE[bandwidth_mhz]
+        except KeyError:
+            raise ValueError(
+                f"unsupported LTE bandwidth {bandwidth_mhz} MHz; "
+                f"choose from {sorted(_LTE_RB_TABLE)}"
+            ) from None
+        return cls(Numerology(0), num_rbs, subband_rbs)
+
+    @classmethod
+    def nr(
+        cls, bandwidth_mhz: int = 100, mu: int = 1, subband_rbs: int = 16
+    ) -> "RadioGrid":
+        """A 5G NR grid; defaults to the paper's 100 MHz / 30 kHz setup."""
+        numerology = Numerology(mu)
+        key = (bandwidth_mhz, numerology.scs_khz)
+        num_rbs = _RB_TABLE.get(key)
+        if num_rbs is None:
+            # Combinations outside TS 38.101-1 (e.g. the paper's NS-3 runs
+            # sweep numerology 0..3 at a fixed 100 MHz): approximate the
+            # grid with ~97% guard-band-adjusted occupancy, like the
+            # simulator the paper used.
+            num_rbs = int(
+                bandwidth_mhz * 1e6 * 0.97 / numerology.rb_bandwidth_hz
+            )
+            if num_rbs <= 0:
+                raise ValueError(f"bandwidth too small for numerology: {key}")
+        return cls(numerology, num_rbs, subband_rbs)

@@ -1,0 +1,59 @@
+"""Transport-block sizing and link-adaptation policies.
+
+The rate matrix gives the *idealized* per-RB capacity. Real eNodeBs build
+one transport block per UE per TTI with a single MCS, chosen by link
+adaptation over the allocated RBs, and the block size is quantized (TS
+36.213 TBS tables step in bytes and spend 24 bits on CRC).  Three
+policies are modelled:
+
+* ``per_rb``   -- sum the per-RB rates (idealized upper bound; default,
+  and what the per-RB metric schedulers implicitly assume).
+* ``worst_rb`` -- conservative link adaptation: the whole block uses the
+  MCS the *worst* allocated RB supports (no HARQ risk).
+* ``mean_rb``  -- MCS from the mean CQI of the allocated RBs (what
+  practical outer-loop link adaptation approximates).
+
+All policies then quantize to whole bytes and subtract the CRC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.cqi import CqiTable
+
+CRC_BITS = 24
+
+POLICIES = ("per_rb", "worst_rb", "mean_rb")
+
+
+def transport_block_bits(
+    policy: str,
+    rates_row: np.ndarray,
+    cqi_row: np.ndarray,
+    rb_indices: np.ndarray,
+    table: CqiTable,
+    data_re_per_rb: float,
+) -> int:
+    """Bits one UE's transport block carries over ``rb_indices`` this TTI.
+
+    ``rates_row`` / ``cqi_row`` are that UE's per-RB rate and CQI vectors.
+    Returns 0 when the link cannot sustain any MCS.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown link adaptation policy {policy!r}")
+    if rb_indices.size == 0:
+        return 0
+    if policy == "per_rb":
+        raw = float(rates_row[rb_indices].sum())
+    else:
+        cqis = cqi_row[rb_indices]
+        if policy == "worst_rb":
+            cqi = int(cqis.min())
+        else:
+            cqi = int(np.floor(cqis.mean()))
+        raw = table.efficiency(cqi) * data_re_per_rb * rb_indices.size
+    bits = int(raw) - CRC_BITS
+    if bits <= 0:
+        return 0
+    return (bits // 8) * 8  # byte quantization

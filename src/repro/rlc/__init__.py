@@ -1,0 +1,18 @@
+"""RLC layer: UM/AM transmitting and receiving entities."""
+
+from repro.rlc.pdu import RlcSdu, RlcPdu, SduSegment
+from repro.rlc.um import UmTransmitter, UmReceiver
+from repro.rlc.am import AmTransmitter, AmReceiver
+from repro.rlc.tm import TmTransmitter, TmReceiver
+
+__all__ = [
+    "RlcSdu",
+    "RlcPdu",
+    "SduSegment",
+    "UmTransmitter",
+    "UmReceiver",
+    "AmTransmitter",
+    "AmReceiver",
+    "TmTransmitter",
+    "TmReceiver",
+]

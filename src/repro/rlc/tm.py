@@ -1,0 +1,97 @@
+"""RLC Transparent Mode: pass-through with no RLC header at all.
+
+3GPP's third RLC mode (TS 38.322 §5.1.1): no segmentation, no
+concatenation, no headers, no retransmission -- one SDU becomes one PDU
+verbatim.  Real networks use TM for broadcast/paging and some signalling;
+the simulator offers it for completeness and as the degenerate baseline
+for the RLC test-suite (everything UM adds -- segmentation, buffers with
+drop policies, reassembly -- is visible as the diff against TM).
+
+An SDU larger than the grant simply waits (TM cannot segment).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.mac.bsr import BufferStatusReport
+from repro.net.packet import Packet
+from repro.rlc.pdu import RlcPdu, RlcSdu, SduSegment
+
+
+class TmTransmitter:
+    """Transmitting RLC TM entity: a bounded FIFO of whole SDUs."""
+
+    def __init__(
+        self,
+        ue_id: int,
+        capacity_sdus: int = 128,
+        on_sdu_dropped: Optional[Callable[[RlcSdu], None]] = None,
+    ) -> None:
+        if capacity_sdus < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity_sdus}")
+        self.ue_id = ue_id
+        self.capacity_sdus = capacity_sdus
+        self._queue: deque[RlcSdu] = deque()
+        self._on_sdu_dropped = on_sdu_dropped
+        self.sdus_dropped = 0
+        self.sdus_sent = 0
+
+    def write_sdu(self, packet: Packet, level: int, now_us: int) -> Optional[RlcSdu]:
+        """Enqueue a packet (``level`` ignored: TM has one queue)."""
+        if len(self._queue) >= self.capacity_sdus:
+            self.sdus_dropped += 1
+            if self._on_sdu_dropped is not None:
+                self._on_sdu_dropped(RlcSdu(packet, enqueued_us=now_us))
+            return None
+        sdu = RlcSdu(packet, enqueued_us=now_us)
+        self._queue.append(sdu)
+        return sdu
+
+    def build_pdu(self, grant_bytes: int, now_us: int) -> Optional[RlcPdu]:
+        """Emit whole SDUs that fit the grant; never segments."""
+        pdu = RlcPdu(headerless=True)
+        budget = grant_bytes
+        while self._queue and self._queue[0].size <= budget:
+            sdu = self._queue.popleft()
+            budget -= sdu.size
+            sdu.sent_bytes = sdu.size
+            pdu.segments.append(SduSegment(sdu=sdu, offset=0, length=sdu.size))
+            self.sdus_sent += 1
+        return pdu if pdu else None
+
+    def buffer_status(self, now_us: int) -> BufferStatusReport:
+        hol_delay = 0
+        if self._queue:
+            hol_delay = max(now_us - self._queue[0].enqueued_us, 0)
+        return BufferStatusReport(
+            ue_id=self.ue_id,
+            total_bytes=self.buffered_bytes,
+            head_level=0 if self._queue else None,
+            hol_delay_us=hol_delay,
+        )
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(sdu.size for sdu in self._queue)
+
+    @property
+    def buffered_sdus(self) -> int:
+        return len(self._queue)
+
+    def boost_priorities(self) -> None:
+        """No-op: TM has a single queue."""
+
+
+class TmReceiver:
+    """Receiving RLC TM entity: deliver as-is."""
+
+    def __init__(self, deliver: Callable[[RlcSdu, int], None]) -> None:
+        self.deliver = deliver
+        self.sdus_delivered = 0
+
+    def receive_pdu(self, pdu: RlcPdu, now_us: int) -> None:
+        for segment in pdu.segments:
+            self.sdus_delivered += 1
+            self.deliver(segment.sdu, now_us)

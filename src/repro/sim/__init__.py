@@ -1,0 +1,20 @@
+"""Discrete-event simulation engine and end-to-end cell composition."""
+
+from repro.sim.engine import EventEngine
+from repro.sim.config import SimConfig
+from repro.sim.cell import CellSimulation, SimResult
+from repro.sim.multicell import MultiCellSimulation, PooledResult
+from repro.sim.replicate import ReplicationReport, run_replications
+from repro.sim.trace import SchedulingTrace
+
+__all__ = [
+    "EventEngine",
+    "SimConfig",
+    "CellSimulation",
+    "SimResult",
+    "MultiCellSimulation",
+    "PooledResult",
+    "SchedulingTrace",
+    "ReplicationReport",
+    "run_replications",
+]

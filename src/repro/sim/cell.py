@@ -1,0 +1,365 @@
+"""End-to-end single-cell simulation (Figure 11b topology).
+
+Remote server --(wired, 10 ms)-- core network --(xNodeB)-- radio -- UEs.
+
+``CellSimulation`` wires the whole stack together: a Poisson (or incast)
+flow workload terminating in per-flow TCP-Cubic senders at the server,
+the xNodeB user plane (PDCP flow inspection, RLC UM/AM buffers, MAC
+scheduler under test), the fading channel with CQI reporting, and UE-side
+receivers that reassemble, decipher, and ACK.  The uplink carries ACKs
+and RLC status reports with a fixed delay (the paper studies downlink
+scheduling only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.outran import OutranScheduler
+from repro.mac.pf import (
+    BlindEqualThroughputScheduler,
+    MaxThroughputScheduler,
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+)
+from repro.mac.qos import CqaScheduler, ExpPfScheduler, MlwdfScheduler, PssScheduler
+from repro.mac.scheduler import MacScheduler
+from repro.mac.srjf import SrjfScheduler
+from repro.net.packet import FiveTuple, Packet
+from repro.net.tcp import TcpFlow, TcpReceiver
+from repro.pdcp.entity import CipheredPdu
+from repro.phy.channel import ChannelModel
+from repro.rlc.pdu import RlcSdu
+from repro.sim.config import SimConfig
+from repro.sim.engine import EventEngine, PeriodicTask, microseconds
+from repro.sim.enb import XNodeB
+from repro.sim.metrics import FctRecord, MetricsCollector, SimResult
+from repro.sim.ue import FlowRuntime, UeContext
+from repro.traffic.distributions import distribution_by_name
+from repro.traffic.generator import FlowSpec, IncastGenerator, PoissonTrafficGenerator
+
+SERVER_IP = 0x0A00_0001
+UE_IP_BASE = 0x0B00_0000
+
+
+def make_scheduler(spec: Union[str, MacScheduler], config: SimConfig) -> MacScheduler:
+    """Build a scheduler from a name.
+
+    Names: ``pf``, ``mt``, ``rr``, ``bet``, ``srjf``, ``pss``, ``cqa``,
+    ``mlwdf``, ``exppf``,
+    ``outran`` (epsilon 0.2 over PF), ``outran:<eps>`` for other epsilons,
+    ``mlfq_strict`` (epsilon 1: the strict-MLFQ comparison of Figure 7).
+    """
+    if isinstance(spec, MacScheduler):
+        return spec
+    name = spec.lower()
+    tf = config.fairness_window_s
+    if name == "pf":
+        return ProportionalFairScheduler(tf)
+    if name == "mt":
+        return MaxThroughputScheduler(tf)
+    if name == "rr":
+        return RoundRobinScheduler(tf)
+    if name == "bet":
+        return BlindEqualThroughputScheduler(tf)
+    if name == "srjf":
+        return SrjfScheduler(tf)
+    if name == "pss":
+        return PssScheduler(tf)
+    if name == "cqa":
+        return CqaScheduler(tf)
+    if name == "mlwdf":
+        return MlwdfScheduler(tf)
+    if name == "exppf":
+        return ExpPfScheduler(tf)
+    if name == "mlfq_strict":
+        return OutranScheduler(ProportionalFairScheduler(tf), epsilon=1.0)
+    if name == "outran":
+        return OutranScheduler(ProportionalFairScheduler(tf))
+    if name.startswith("outran:"):
+        epsilon = float(name.split(":", 1)[1])
+        return OutranScheduler(ProportionalFairScheduler(tf), epsilon=epsilon)
+    raise ValueError(f"unknown scheduler {spec!r}")
+
+
+def _uses_mlfq(scheduler: MacScheduler, config: SimConfig) -> bool:
+    if config.use_mlfq is not None:
+        return config.use_mlfq
+    return isinstance(scheduler, OutranScheduler)
+
+
+class CellSimulation:
+    """One cell, one scheduler, one workload; ``run()`` returns a result."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        scheduler: Union[str, MacScheduler] = "pf",
+        flows: Optional[Sequence[FlowSpec]] = None,
+    ) -> None:
+        self.config = config
+        self.engine = EventEngine()
+        self.scheduler = make_scheduler(scheduler, config)
+        self._use_mlfq = _uses_mlfq(self.scheduler, config)
+        self._rng = np.random.default_rng(config.seed)
+        self.channel = ChannelModel(
+            config.grid, config.scenario, seed=config.seed + 1
+        )
+        self.metrics = MetricsCollector(
+            config.num_ues,
+            config.grid.bandwidth_hz,
+            config.tti_us,
+            fairness_window_s=config.fairness_window_s,
+        )
+        self.ues = [
+            UeContext(
+                index=i,
+                config=config,
+                channel=self.channel.add_ue(i),
+                use_mlfq=self._use_mlfq,
+                deliver_sdu=self._deliver_sdu,
+                on_sdu_dropped=lambda sdu: None,  # counted at the xNodeB
+                on_sdu_dequeued=self._on_sdu_dequeued,
+            )
+            for i in range(config.num_ues)
+        ]
+        self.enb = XNodeB(
+            config,
+            self.scheduler,
+            self.channel,
+            self.ues,
+            self.engine,
+            self.metrics,
+            np.random.default_rng(config.seed + 2),
+        )
+        self._runtimes: dict[int, FlowRuntime] = {}
+        self._flow_sizes: dict[int, int] = {}
+        self._provided_flows = list(flows) if flows is not None else None
+        self._completion_hooks: dict[int, Callable[[int], None]] = {}
+
+    # -- capacity ----------------------------------------------------------
+
+    def peak_capacity_bps(self) -> float:
+        """Mean-SINR capacity upper bound (no protocol/TCP inefficiency).
+
+        Average over UEs of the full-grid throughput each would see alone
+        at its mean SINR.
+        """
+        grid = self.config.grid
+        table = self.channel.cqi_table
+        effs = []
+        for ue in self.ues:
+            cqi = table.from_sinr_db(np.array([ue.channel.mean_sinr_db()]))[0]
+            effs.append(table.efficiency(int(cqi)))
+        mean_eff = float(np.mean(effs))
+        bits_per_tti = mean_eff * grid.data_re_per_rb() * grid.num_rbs
+        return bits_per_tti * 1e6 / grid.tti_us
+
+    def capacity_bps(self) -> float:
+        """Realizable cell capacity used to scale offered load.
+
+        ``peak_capacity_bps`` discounted by ``config.capacity_scale``,
+        which is calibrated against the saturated throughput of a PF cell
+        (TCP dynamics and fairness spreading keep a real cell below the
+        mean-CQI bound).  Deterministic for a seed and shared by every
+        scheduler under comparison, so identical nominal loads mean
+        identical workloads.
+        """
+        return self.peak_capacity_bps() * self.config.capacity_scale
+
+    # -- workload -------------------------------------------------------------
+
+    def _make_flows(self, duration_s: float) -> list[FlowSpec]:
+        if self._provided_flows is not None:
+            return self._provided_flows
+        traffic = self.config.traffic
+        dist = distribution_by_name(traffic.distribution)
+        if traffic.kind == "incast":
+            generator: Union[IncastGenerator, PoissonTrafficGenerator] = IncastGenerator(
+                dist,
+                self.config.num_ues,
+                traffic.load,
+                self.capacity_bps(),
+                seed=self.config.seed + 3,
+                short_bytes=traffic.incast_short_bytes,
+                short_fraction=traffic.incast_short_fraction,
+                burst_flows=traffic.incast_burst_flows,
+            )
+        else:
+            generator = PoissonTrafficGenerator(
+                dist,
+                self.config.num_ues,
+                traffic.load,
+                self.capacity_bps(),
+                seed=self.config.seed + 3,
+            )
+        return generator.generate(duration_s)
+
+    # -- flow plumbing -----------------------------------------------------------
+
+    def _start_flow(self, spec: FlowSpec) -> None:
+        ue = self.ues[spec.ue_index]
+        port_key = spec.connection if spec.connection is not None else spec.flow_id
+        five_tuple = FiveTuple(
+            src_ip=SERVER_IP,
+            dst_ip=UE_IP_BASE + spec.ue_index,
+            src_port=443,
+            dst_port=10_000 + (port_key % 50_000),
+        )
+        receiver = TcpReceiver(
+            spec.flow_id,
+            five_tuple,
+            spec.size_bytes,
+            send_ack=lambda ack: self._route_ack(ack),
+            on_complete=lambda now: self._on_flow_complete(spec, now),
+        )
+        sender = TcpFlow(
+            self.engine,
+            spec.flow_id,
+            five_tuple,
+            spec.size_bytes,
+            route_data=lambda pkt: self.engine.schedule_in(
+                self.config.server_delay_us, self.enb.ingress, spec.ue_index, pkt
+            ),
+            min_rto_us=self.config.tcp_min_rto_us,
+            initial_cwnd_segments=self.config.tcp_initial_cwnd,
+            on_sender_done=self._on_sender_done,
+        )
+        runtime = FlowRuntime(spec, sender, receiver)
+        self._runtimes[spec.flow_id] = runtime
+        self._flow_sizes[spec.flow_id] = spec.size_bytes
+        ue.receivers[spec.flow_id] = receiver
+        ue.active_runtimes[spec.flow_id] = runtime
+        self.metrics.on_flow_started()
+        sender.start()
+
+    def _route_ack(self, ack: Packet) -> None:
+        delay = self.config.ul_delay_us + self.config.server_delay_us
+        self.engine.schedule_in(
+            delay, self._ack_arrive, ack.flow_id, ack.ack_seq, ack.sack_blocks
+        )
+
+    def _ack_arrive(self, flow_id: int, ack_seq: int, sack_blocks: tuple) -> None:
+        runtime = self._runtimes.get(flow_id)
+        if runtime is not None:
+            runtime.sender.on_ack(ack_seq, sack_blocks)
+
+    def start_flow(
+        self,
+        spec: FlowSpec,
+        on_complete: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Start a flow dynamically at the current simulation time.
+
+        Used by workload drivers that react to simulation events (e.g.
+        the webpage loader starting a dependency wave once the previous
+        wave finishes).  ``on_complete`` fires with the completion time
+        in microseconds.
+        """
+        if spec.flow_id in self._runtimes:
+            raise ValueError(f"flow id {spec.flow_id} already in use")
+        if on_complete is not None:
+            self._completion_hooks[spec.flow_id] = on_complete
+        self._start_flow(spec)
+
+    def _on_flow_complete(self, spec: FlowSpec, now_us: int) -> None:
+        runtime = self._runtimes[spec.flow_id]
+        runtime.completed = True
+        self.metrics.on_flow_complete(
+            FctRecord(
+                flow_id=spec.flow_id,
+                ue_index=spec.ue_index,
+                size_bytes=spec.size_bytes,
+                start_us=runtime.start_us,
+                end_us=now_us,
+            )
+        )
+        self.ues[spec.ue_index].active_runtimes.pop(spec.flow_id, None)
+        hook = self._completion_hooks.pop(spec.flow_id, None)
+        if hook is not None:
+            hook(now_us)
+
+    def _on_sender_done(self, sender: TcpFlow, now_us: int) -> None:
+        if sender.srtt_us is not None:
+            self.metrics.on_rtt_sample(sender.srtt_us)
+
+    # -- UE-side delivery --------------------------------------------------------
+
+    def _deliver_sdu(self, ue: UeContext, sdu: RlcSdu, now_us: int) -> None:
+        pdu = CipheredPdu(
+            packet=sdu.packet,
+            sn=sdu.pdcp_sn if sdu.pdcp_sn is not None else 0,
+            cipher_key_sn=sdu.pdcp_sn if sdu.pdcp_sn is not None else 0,
+        )
+        packet = ue.pdcp_rx.receive(pdu)
+        if packet is None:
+            return
+        receiver = ue.receivers.get(packet.flow_id)
+        if receiver is not None:
+            receiver.on_data(packet, now_us)
+
+    def _on_sdu_dequeued(self, sdu: RlcSdu, delay_us: int) -> None:
+        self.metrics.on_queue_delay(sdu.packet.flow_id, delay_us)
+
+    # -- run ------------------------------------------------------------------------
+
+    def run(self, duration_s: float, drain_s: float = 2.0) -> SimResult:
+        """Generate the workload, simulate, and summarize.
+
+        Arrivals cover ``[0, duration_s)``; the simulation then runs an
+        extra ``drain_s`` so in-flight flows can finish (the remainder is
+        reported as censored).
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        flows = self._make_flows(duration_s)
+        for spec in flows:
+            self.engine.schedule_at(spec.start_us, self._start_flow, spec)
+        tti = self.config.tti_us
+        tti_task = PeriodicTask(self.engine, tti, self.enb.on_tti, start_us=tti)
+        cqi_period_us = max(
+            microseconds(self.config.scenario.cqi_period_s), tti
+        )
+        cqi_task = PeriodicTask(self.engine, cqi_period_us, self._on_cqi_update)
+        reset_task = None
+        if self.config.priority_reset_period_us is not None:
+            reset_task = PeriodicTask(
+                self.engine,
+                self.config.priority_reset_period_us,
+                self._on_priority_reset,
+            )
+        self.engine.run_until(microseconds(duration_s + drain_s))
+        tti_task.stop()
+        cqi_task.stop()
+        if reset_task is not None:
+            reset_task.stop()
+        self._harvest_counters()
+        return SimResult(
+            self.metrics,
+            duration_s,
+            scheduler_name=self.scheduler.name,
+            flow_sizes=self._flow_sizes,
+            extra={
+                "capacity_bps": self.capacity_bps(),
+                "events": self.engine.events_processed,
+                "ttis": self.enb.ttis_run,
+                "tbs_lost": self.enb.tbs_lost,
+            },
+        )
+
+    def _on_cqi_update(self) -> None:
+        self.channel.update_all(self.engine.now_s)
+        self.enb.refresh_rates()
+
+    def _on_priority_reset(self) -> None:
+        for ue in self.ues:
+            ue.boost_priorities()
+
+    def _harvest_counters(self) -> None:
+        for ue in self.ues:
+            self.metrics.decipher_failures += ue.pdcp_rx.decipher_failures
+            discarded = getattr(ue.rlc_rx, "sdus_discarded", 0)
+            self.metrics.reassembly_discards += discarded
+            self.metrics.sdus_dropped += ue.rlc.sdus_dropped

@@ -1,0 +1,272 @@
+"""The xNodeB: per-TTI MAC allocation, RLC grants, air transmission.
+
+Every TTI the :class:`XNodeB`:
+
+1. refreshes the per-UE buffer status reports (including OutRAN's MLFQ
+   priority attribute) and the oracle fields the clairvoyant baselines
+   read,
+2. asks the configured MAC scheduler to allocate the RB grid against the
+   latest CQI-derived rate matrix,
+3. converts each UE's RB share into a byte grant, lets the RLC entity
+   assemble PDUs (segmentation, retransmissions, MLFQ order), and puts the
+   resulting transport block "on the air" -- a delayed delivery event,
+   subject to the configured transport-block error rate,
+4. feeds served bits back to the scheduler (PF EWMA) and the metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.mac.bsr import empty_report
+from repro.mac.harq import HarqEntity
+from repro.mac.qos import CqaScheduler, ExpPfScheduler, MlwdfScheduler, PssScheduler
+from repro.mac.scheduler import MacScheduler
+from repro.mac.srjf import SrjfScheduler
+from repro.phy.channel import ChannelModel
+from repro.phy.tbs import transport_block_bits
+from repro.rlc.am import AmStatus, AmTransmitter
+from repro.rlc.pdu import RlcPdu
+from repro.sim.config import SimConfig
+from repro.sim.engine import EventEngine
+from repro.sim.metrics import MetricsCollector
+from repro.sim.trace import SchedulingTrace
+from repro.sim.ue import UeContext
+
+
+_ORACLE_TYPES = (
+    SrjfScheduler,
+    PssScheduler,
+    CqaScheduler,
+    MlwdfScheduler,
+    ExpPfScheduler,
+)
+
+
+def _needs_oracle(scheduler: MacScheduler) -> bool:
+    inner = getattr(scheduler, "legacy", scheduler)
+    return isinstance(scheduler, _ORACLE_TYPES) or isinstance(inner, _ORACLE_TYPES)
+
+
+class XNodeB:
+    """Base station: owns the scheduler and drives the TTI loop."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        scheduler: MacScheduler,
+        channel: ChannelModel,
+        ues: Sequence[UeContext],
+        engine: EventEngine,
+        metrics: MetricsCollector,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.scheduler = scheduler
+        self.channel = channel
+        self.ues = list(ues)
+        self.engine = engine
+        self.metrics = metrics
+        self._rng = rng
+        self._rates = channel.rate_matrix_bits()
+        self._cqi = channel.cqi_matrix()
+        self._sched_states = [ue.sched for ue in self.ues]
+        self._empty_reports = [empty_report(ue.index) for ue in self.ues]
+        self._needs_oracle = _needs_oracle(scheduler)
+        if config.harq_enabled:
+            self._harq: list[HarqEntity] | None = [
+                HarqEntity(
+                    np.random.default_rng(rng.integers(2**63)),
+                    rtt_us=config.harq_rtt_ttis * config.tti_us,
+                    max_retx=config.harq_max_retx,
+                )
+                for _ in self.ues
+            ]
+        else:
+            self._harq = None
+        qos_types = (PssScheduler, CqaScheduler, MlwdfScheduler, ExpPfScheduler)
+        self._qos_oracle = config.qos_oracle or isinstance(
+            getattr(scheduler, "legacy", scheduler), qos_types
+        ) or isinstance(scheduler, qos_types)
+        self.ttis_run = 0
+        self.tbs_lost = 0
+        #: Optional per-TTI scheduling trace (attach via enable_trace()).
+        self.trace: SchedulingTrace | None = None
+
+    def enable_trace(self) -> SchedulingTrace:
+        """Start recording per-TTI scheduling decisions."""
+        if self.trace is None:
+            self.trace = SchedulingTrace(
+                len(self.ues), self.config.grid.num_rbs
+            )
+        return self.trace
+
+    # -- channel ------------------------------------------------------------
+
+    def refresh_rates(self) -> None:
+        """Recompute the rate matrix after a CQI reporting instant."""
+        self._rates = self.channel.rate_matrix_bits()
+        if self.config.link_adaptation != "per_rb":
+            self._cqi = self.channel.cqi_matrix()
+
+    # -- ingress (packets arriving from the core network) ---------------------
+
+    def ingress(self, ue_index: int, packet) -> None:
+        """PDCP header inspection + RLC enqueue for a downlink packet."""
+        ue = self.ues[ue_index]
+        now = self.engine.now_us
+        level, eager_sn = ue.pdcp.ingress(packet, now)
+        sdu = ue.rlc.write_sdu(packet, level, now)
+        # Drops are tallied from the RLC counters at harvest time.
+        if sdu is not None and eager_sn is not None:
+            sdu.pdcp_sn = eager_sn
+
+    # -- the TTI loop ------------------------------------------------------------
+
+    def on_tti(self) -> None:
+        """One scheduling interval."""
+        now = self.engine.now_us
+        self.ttis_run += 1
+        backlogged: list[int] = []
+        for ue in self.ues:
+            harq = self._harq[ue.index] if self._harq is not None else None
+            harq_bytes = harq.pending_bytes if harq is not None else 0
+            if ue.has_backlog() or harq_bytes:
+                bsr = ue.rlc.buffer_status(now)
+                if harq_bytes:
+                    # HARQ retransmissions outrank new data: advertise them
+                    # like RLC retx backlog at the top priority.
+                    bsr = replace(
+                        bsr,
+                        retx_bytes=bsr.retx_bytes + harq_bytes,
+                        head_level=0 if bsr.head_level is None else min(bsr.head_level, 0),
+                    )
+                ue.sched.bsr = bsr
+                backlogged.append(ue.index)
+                if self._needs_oracle:
+                    ue.refresh_oracle(now, self._qos_oracle)
+            elif ue.sched.bsr.has_data:
+                ue.sched.bsr = self._empty_reports[ue.index]
+        served_bits = np.zeros(len(self.ues))
+        owner = None
+        grant_bits = np.zeros(len(self.ues))
+        if backlogged:
+            owner = self.scheduler.allocate(self._rates, self._sched_states, now)
+            valid = owner >= 0
+            if valid.any():
+                rb_idx = np.nonzero(valid)[0]
+                owners = owner[rb_idx]
+                if self.config.link_adaptation == "per_rb":
+                    grant_bits = np.bincount(
+                        owners,
+                        weights=self._rates[owners, rb_idx],
+                        minlength=len(self.ues),
+                    ).astype(float)
+                    if grant_bits.shape[0] < len(self.ues):
+                        grant_bits = np.pad(
+                            grant_bits, (0, len(self.ues) - grant_bits.shape[0])
+                        )
+                else:
+                    table = self.channel.cqi_table
+                    re_per_rb = self.config.grid.data_re_per_rb()
+                    for ue_index in np.unique(owners):
+                        owned = rb_idx[owners == ue_index]
+                        grant_bits[ue_index] = transport_block_bits(
+                            self.config.link_adaptation,
+                            self._rates[ue_index],
+                            self._cqi[ue_index],
+                            owned,
+                            table,
+                            re_per_rb,
+                        )
+                for ue_index in np.nonzero(grant_bits)[0]:
+                    self._serve_ue(self.ues[ue_index], int(grant_bits[ue_index]) // 8, served_bits)
+        if self.trace is not None:
+            self.trace.record(
+                now,
+                owner if owner is not None
+                else np.full(self.config.grid.num_rbs, -1, dtype=np.int64),
+                grant_bits.astype(np.int64),
+                np.array([ue.rlc.buffered_bytes for ue in self.ues]),
+                np.array(
+                    [
+                        -1 if ue.sched.bsr.head_level is None else ue.sched.bsr.head_level
+                        for ue in self.ues
+                    ],
+                    dtype=np.int8,
+                ),
+            )
+        self.metrics.on_tti(now, served_bits, backlogged)
+        self.scheduler.on_tti_end(self._sched_states, served_bits, self.config.tti_us)
+        for ue_index in np.nonzero(served_bits)[0]:
+            self._sched_states[ue_index].last_served_us = now
+
+    def _serve_ue(
+        self, ue: UeContext, grant_bytes: int, served_bits: np.ndarray
+    ) -> None:
+        now = self.engine.now_us
+        budget = grant_bytes
+        sent_bits = 0
+        # 1. HARQ retransmissions first: they outrank new data on the air.
+        harq = self._harq[ue.index] if self._harq is not None else None
+        if harq is not None and harq.has_pending:
+            for process in harq.due_processes(now):
+                if process.tb_bytes > budget:
+                    break
+                budget -= process.tb_bytes
+                sent_bits += process.tb_bytes * 8
+                if harq.attempt(process, now):
+                    self.engine.schedule_in(
+                        self.config.air_delay_us,
+                        self._deliver_tb,
+                        ue,
+                        process.items,
+                        False,
+                    )
+        # 2. New data within the leftover grant.
+        if ue.is_am:
+            items: list[Union[RlcPdu, AmStatus]] = ue.rlc.build_transmissions(
+                budget, now
+            )
+        else:
+            pdu = ue.rlc.build_pdu(budget, now)
+            items = [pdu] if pdu is not None else []
+        if items:
+            tx_bytes = sum(item.wire_bytes for item in items)
+            sent_bits += tx_bytes * 8
+            lost = self.config.radio_bler > 0 and bool(
+                self._rng.random() < self.config.radio_bler
+            )
+            if lost and harq is not None:
+                harq.on_initial_failure(
+                    items, tx_bytes, self.config.radio_bler, now
+                )
+            else:
+                self.engine.schedule_in(
+                    self.config.air_delay_us, self._deliver_tb, ue, items, lost
+                )
+        served_bits[ue.index] = sent_bits
+
+    # -- the air interface -----------------------------------------------------------
+
+    def _deliver_tb(
+        self, ue: UeContext, items: list[Union[RlcPdu, AmStatus]], lost: bool
+    ) -> None:
+        if lost:
+            self.tbs_lost += 1
+            return  # UM: reassembly window cleans up; AM: status/poll recovers
+        now = self.engine.now_us
+        for item in items:
+            if isinstance(item, RlcPdu):
+                status = ue.rlc_rx.receive_pdu(item, now)
+                if status is not None and ue.is_am:
+                    self.engine.schedule_in(
+                        self.config.ul_delay_us, self._deliver_status, ue, status
+                    )
+            # eNB->UE AmStatus control PDUs are absorbed by the UE.
+
+    def _deliver_status(self, ue: UeContext, status: AmStatus) -> None:
+        ue.rlc.receive_status(status, self.engine.now_us)

@@ -1,0 +1,278 @@
+"""Measurement machinery: FCT records, spectral efficiency, fairness.
+
+The paper's metrics (section 6):
+
+* **FCT** -- from flow start to last byte arriving at the UE, bucketed as
+  short (0, 10 KB], medium (10 KB, 0.1 MB], long (0.1 MB, inf) following
+  Figure 15.
+* **Spectral efficiency** -- transmitted bits over bandwidth x time,
+  sampled every 50 TTIs (the Figure 7 granularity).
+* **Fairness index** -- Jain's index (eq. 3) over the per-UE service
+  each sampling window, restricted to UEs that carried backlog inside the
+  window (idle UEs are not "users competing for the resource"; a
+  backlogged UE that received nothing counts as starved, which is what
+  lets SRJF's starvation show up, Figure 4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+SHORT_MAX_BYTES = 10_000
+MEDIUM_MAX_BYTES = 100_000
+
+#: Figure 7 samples the SE / fairness CDFs every 50 TTIs.
+SAMPLE_WINDOW_TTIS = 50
+
+
+def size_bucket(size_bytes: int) -> str:
+    """Paper's flow-size buckets: 'S', 'M', or 'L'."""
+    if size_bytes <= SHORT_MAX_BYTES:
+        return "S"
+    if size_bytes <= MEDIUM_MAX_BYTES:
+        return "M"
+    return "L"
+
+
+@dataclass(frozen=True)
+class FctRecord:
+    """One completed flow."""
+
+    flow_id: int
+    ue_index: int
+    size_bytes: int
+    start_us: int
+    end_us: int
+
+    @property
+    def fct_us(self) -> int:
+        return self.end_us - self.start_us
+
+    @property
+    def fct_ms(self) -> float:
+        return self.fct_us / 1e3
+
+    @property
+    def bucket(self) -> str:
+        return size_bucket(self.size_bytes)
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index (paper eq. 3); 1.0 for <= 1 value.
+
+    Zero entries are kept: a competing user that received nothing drags
+    the index down (that *is* unfairness).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size <= 1:
+        return 1.0
+    total_sq = float((arr**2).sum())
+    if total_sq == 0.0:
+        return 1.0
+    return float(arr.sum() ** 2 / (arr.size * total_sq))
+
+
+class MetricsCollector:
+    """Accumulates per-TTI and per-flow measurements during a run."""
+
+    def __init__(
+        self,
+        num_ues: int,
+        bandwidth_hz: float,
+        tti_us: int,
+        fairness_window_s: float = 1.0,
+    ) -> None:
+        self.num_ues = num_ues
+        self.bandwidth_hz = bandwidth_hz
+        self.tti_us = tti_us
+        self._beta = min((tti_us / 1e6) / fairness_window_s, 1.0)
+        self.records: list[FctRecord] = []
+        self.se_samples: list[tuple[int, float]] = []
+        self.fairness_samples: list[tuple[int, float]] = []
+        self.queue_delays: list[tuple[int, int]] = []  # (flow_id, delay_us)
+        self.rtt_samples_us: list[float] = []
+        self._window_ue_bits = np.zeros(num_ues)
+        self.total_ue_bits = np.zeros(num_ues)
+        self._ever_backlogged: set[int] = set()
+        self._window_bits = 0
+        self._window_ttis = 0
+        self._window_active: set[int] = set()
+        self._tti_count = 0
+        self.total_bits = 0
+        self.sdus_dropped = 0
+        self.decipher_failures = 0
+        self.reassembly_discards = 0
+        self.flows_started = 0
+
+    # -- per-TTI -----------------------------------------------------------
+
+    def on_tti(
+        self,
+        now_us: int,
+        per_ue_bits: np.ndarray,
+        backlogged_ues: Iterable[int],
+    ) -> None:
+        """Account one TTI's transmissions."""
+        bits = int(per_ue_bits.sum())
+        self.total_bits += bits
+        self._window_bits += bits
+        self._window_ttis += 1
+        self._window_active.update(backlogged_ues)
+        self._ever_backlogged.update(self._window_active)
+        self._window_ue_bits += per_ue_bits
+        self.total_ue_bits += per_ue_bits
+        self._tti_count += 1
+        if self._window_ttis >= SAMPLE_WINDOW_TTIS:
+            self._close_window(now_us)
+
+    def _close_window(self, now_us: int) -> None:
+        window_s = self._window_ttis * self.tti_us / 1e6
+        se = self._window_bits / (self.bandwidth_hz * window_s)
+        if self._window_active:
+            self.se_samples.append((now_us, se))
+            active = sorted(self._window_active)
+            self.fairness_samples.append(
+                (now_us, jain_index(self._window_ue_bits[active]))
+            )
+        self._window_bits = 0
+        self._window_ttis = 0
+        self._window_active.clear()
+        self._window_ue_bits[:] = 0.0
+
+    # -- per-flow ------------------------------------------------------------
+
+    def on_flow_started(self) -> None:
+        self.flows_started += 1
+
+    def on_flow_complete(self, record: FctRecord) -> None:
+        self.records.append(record)
+
+    def on_queue_delay(self, flow_id: int, delay_us: int) -> None:
+        self.queue_delays.append((flow_id, delay_us))
+
+    def on_rtt_sample(self, srtt_us: float) -> None:
+        self.rtt_samples_us.append(srtt_us)
+
+
+class SimResult:
+    """Immutable summary of one run, with figure-shaped accessors."""
+
+    def __init__(
+        self,
+        collector: MetricsCollector,
+        duration_s: float,
+        scheduler_name: str,
+        flow_sizes: Optional[dict[int, int]] = None,
+        extra: Optional[dict] = None,
+    ) -> None:
+        self._c = collector
+        self.duration_s = duration_s
+        self.scheduler_name = scheduler_name
+        self._flow_sizes = flow_sizes or {}
+        self.extra = extra or {}
+
+    # -- FCT ------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[FctRecord]:
+        return self._c.records
+
+    def fcts_ms(self, bucket: Optional[str] = None) -> np.ndarray:
+        """FCTs in ms, optionally restricted to a size bucket."""
+        values = [
+            r.fct_ms for r in self._c.records if bucket is None or r.bucket == bucket
+        ]
+        return np.asarray(values, dtype=float)
+
+    def avg_fct_ms(self, bucket: Optional[str] = None) -> float:
+        values = self.fcts_ms(bucket)
+        return float(values.mean()) if values.size else float("nan")
+
+    def pctl_fct_ms(self, percentile: float, bucket: Optional[str] = None) -> float:
+        values = self.fcts_ms(bucket)
+        return float(np.percentile(values, percentile)) if values.size else float("nan")
+
+    @property
+    def completed_flows(self) -> int:
+        return len(self._c.records)
+
+    @property
+    def censored_flows(self) -> int:
+        """Flows started but not finished when the run ended."""
+        return self._c.flows_started - len(self._c.records)
+
+    # -- system metrics ---------------------------------------------------------
+
+    def se_series(self) -> np.ndarray:
+        return np.asarray([s for _, s in self._c.se_samples], dtype=float)
+
+    def fairness_series(self) -> np.ndarray:
+        return np.asarray([f for _, f in self._c.fairness_samples], dtype=float)
+
+    def mean_se(self) -> float:
+        series = self.se_series()
+        return float(series.mean()) if series.size else float("nan")
+
+    def mean_fairness(self) -> float:
+        series = self.fairness_series()
+        return float(series.mean()) if series.size else float("nan")
+
+    def longterm_fairness(self) -> float:
+        """Jain's index over whole-run served bytes of UEs that ever had
+        backlog -- the paper's eq. 3 at its longest horizon (the windowed
+        ``mean_fairness`` is the Figure 7 sampling)."""
+        active = sorted(self._c._ever_backlogged)
+        if not active:
+            return float("nan")
+        return jain_index(self._c.total_ue_bits[active])
+
+    def mean_rtt_ms(self) -> float:
+        samples = self._c.rtt_samples_us
+        return float(np.mean(samples) / 1e3) if samples else float("nan")
+
+    def queue_delay_ms(self, bucket: Optional[str] = None) -> float:
+        """Mean RLC queueing delay, optionally per flow-size bucket."""
+        values = [
+            delay / 1e3
+            for flow_id, delay in self._c.queue_delays
+            if bucket is None
+            or size_bucket(self._flow_sizes.get(flow_id, 0)) == bucket
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def sdus_dropped(self) -> int:
+        return self._c.sdus_dropped
+
+    @property
+    def decipher_failures(self) -> int:
+        return self._c.decipher_failures
+
+    @property
+    def reassembly_discards(self) -> int:
+        return self._c.reassembly_discards
+
+    # -- reporting ----------------------------------------------------------------
+
+    def fct_summary(self) -> str:
+        """Human-readable one-run summary (the quickstart prints this)."""
+        lines = [
+            f"scheduler={self.scheduler_name} duration={self.duration_s:.1f}s "
+            f"flows={self.completed_flows} (+{self.censored_flows} unfinished)",
+            f"  overall avg FCT: {self.avg_fct_ms():8.1f} ms",
+        ]
+        for bucket, label in (("S", "short"), ("M", "medium"), ("L", "long")):
+            n = self.fcts_ms(bucket).size
+            if n:
+                lines.append(
+                    f"  {label:>6} ({bucket}) avg {self.avg_fct_ms(bucket):8.1f} ms  "
+                    f"95%ile {self.pctl_fct_ms(95, bucket):8.1f} ms  (n={n})"
+                )
+        lines.append(
+            f"  spectral efficiency {self.mean_se():.2f} bit/s/Hz, "
+            f"fairness {self.mean_fairness():.3f}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Per-TTI scheduling trace recorder.
+
+Optionally attached to a :class:`~repro.sim.cell.CellSimulation`, the
+recorder captures, every TTI: which UE owned each RB, each UE's grant,
+buffer occupancy, and MLFQ head level.  Intended for debugging scheduler
+behaviour and for fine-grained analysis the aggregate metrics hide (e.g.
+visualizing the Figure 1 RB allocation difference between PF and
+OutRAN).
+
+Arrays grow in chunks; a full 20 s LTE run of 100 UEs is ~8 MB.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class SchedulingTrace:
+    """Ring-less growing trace of per-TTI scheduling decisions."""
+
+    def __init__(self, num_ues: int, num_rbs: int, chunk_ttis: int = 4096) -> None:
+        if num_ues < 1 or num_rbs < 1:
+            raise ValueError("need at least one UE and one RB")
+        self.num_ues = num_ues
+        self.num_rbs = num_rbs
+        self._chunk = chunk_ttis
+        self._owners = np.full((chunk_ttis, num_rbs), -1, dtype=np.int16)
+        self._grants = np.zeros((chunk_ttis, num_ues), dtype=np.int64)
+        self._buffers = np.zeros((chunk_ttis, num_ues), dtype=np.int64)
+        self._levels = np.full((chunk_ttis, num_ues), -1, dtype=np.int8)
+        self._times = np.zeros(chunk_ttis, dtype=np.int64)
+        self._n = 0
+
+    def record(
+        self,
+        now_us: int,
+        owner: np.ndarray,
+        grant_bits: np.ndarray,
+        buffer_bytes: np.ndarray,
+        head_levels: np.ndarray,
+    ) -> None:
+        """Append one TTI's snapshot."""
+        if self._n == self._times.shape[0]:
+            self._grow()
+        i = self._n
+        self._times[i] = now_us
+        self._owners[i] = owner
+        self._grants[i] = grant_bits
+        self._buffers[i] = buffer_bytes
+        self._levels[i] = head_levels
+        self._n += 1
+
+    def _grow(self) -> None:
+        def extend(arr):
+            extra = np.zeros((self._chunk,) + arr.shape[1:], dtype=arr.dtype)
+            if arr.dtype in (np.int16, np.int8):
+                extra.fill(-1)
+            return np.concatenate([arr, extra])
+
+        self._owners = extend(self._owners)
+        self._grants = extend(self._grants)
+        self._buffers = extend(self._buffers)
+        self._levels = extend(self._levels)
+        self._times = extend(self._times)
+
+    # -- views -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def times_us(self) -> np.ndarray:
+        return self._times[: self._n]
+
+    @property
+    def owners(self) -> np.ndarray:
+        """(ttis, rbs) RB ownership; -1 = unallocated."""
+        return self._owners[: self._n]
+
+    @property
+    def grants_bits(self) -> np.ndarray:
+        return self._grants[: self._n]
+
+    @property
+    def buffer_bytes(self) -> np.ndarray:
+        return self._buffers[: self._n]
+
+    @property
+    def head_levels(self) -> np.ndarray:
+        """(ttis, ues) MLFQ head level; -1 = empty buffer."""
+        return self._levels[: self._n]
+
+    # -- analysis helpers ------------------------------------------------------
+
+    def rb_share(self) -> np.ndarray:
+        """Fraction of allocated RBs each UE received over the trace."""
+        owners = self.owners
+        allocated = owners[owners >= 0]
+        if allocated.size == 0:
+            return np.zeros(self.num_ues)
+        counts = np.bincount(allocated, minlength=self.num_ues)
+        return counts / allocated.size
+
+    def utilization(self) -> float:
+        """Fraction of RB-TTIs that were allocated at all."""
+        owners = self.owners
+        if owners.size == 0:
+            return 0.0
+        return float((owners >= 0).mean())
+
+    def grant_latency_ttis(self, ue_index: int) -> np.ndarray:
+        """Gaps (in TTIs) between consecutive grants to one UE."""
+        granted = np.nonzero(self.grants_bits[:, ue_index] > 0)[0]
+        if granted.size < 2:
+            return np.zeros(0, dtype=np.int64)
+        return np.diff(granted)

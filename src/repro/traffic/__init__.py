@@ -1,0 +1,25 @@
+"""Workload generation: flow-size distributions, arrivals, webpages."""
+
+from repro.traffic.distributions import (
+    EmpiricalDistribution,
+    LTE_CELLULAR,
+    MIRAGE_MOBILE_APP,
+    WEBSEARCH,
+    distribution_by_name,
+)
+from repro.traffic.generator import FlowSpec, PoissonTrafficGenerator, IncastGenerator
+from repro.traffic.webpage import Webpage, ALEXA_TOP20, page_flow_sizes
+
+__all__ = [
+    "EmpiricalDistribution",
+    "LTE_CELLULAR",
+    "MIRAGE_MOBILE_APP",
+    "WEBSEARCH",
+    "distribution_by_name",
+    "FlowSpec",
+    "PoissonTrafficGenerator",
+    "IncastGenerator",
+    "Webpage",
+    "ALEXA_TOP20",
+    "page_flow_sizes",
+]

@@ -1,0 +1,168 @@
+"""Tests for the fading channel model."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import ChannelModel, UeChannel, pathloss_db
+from repro.phy.channel import _Ar1Fader, _JakesFader
+from repro.phy.numerology import RadioGrid
+from repro.phy.scenarios import PEDESTRIAN, SCENARIOS
+
+
+@pytest.fixture
+def grid():
+    return RadioGrid.lte(20.0)
+
+
+class TestPathloss:
+    def test_increases_with_distance(self):
+        assert pathloss_db(200) > pathloss_db(50) > pathloss_db(10)
+
+    def test_close_in_clamped(self):
+        assert pathloss_db(1) == pathloss_db(10)
+
+    def test_urban_macro_anchor(self):
+        # 128.1 + 37.6*log10(0.1 km) = 90.5 dB at 100 m.
+        assert pathloss_db(100) == pytest.approx(90.5, abs=0.1)
+
+
+class TestFaders:
+    def test_jakes_mean_power_near_one(self):
+        rng = np.random.default_rng(0)
+        fader = _JakesFader(n_bands=4, doppler_hz=10.0, rng=rng)
+        times = np.linspace(0, 50, 4000)
+        gains = fader.gains(times)
+        assert gains.shape == (4000, 4)
+        assert gains.mean() == pytest.approx(1.0, rel=0.25)
+
+    def test_ar1_mean_power_near_one(self):
+        rng = np.random.default_rng(1)
+        fader = _Ar1Fader(n_bands=4, doppler_hz=10.0, rng=rng)
+        gains = np.stack([fader.advance(0.005) for _ in range(4000)])
+        assert gains.mean() == pytest.approx(1.0, rel=0.2)
+
+    def test_ar1_slow_doppler_is_correlated(self):
+        rng = np.random.default_rng(2)
+        fader = _Ar1Fader(n_bands=1, doppler_hz=1.0, rng=rng)
+        a = fader.advance(0.001)
+        b = fader.advance(0.001)
+        # At 1 Hz Doppler and 1 ms steps the channel barely moves.
+        assert abs(a[0] - b[0]) < 0.2
+
+    def test_bands_fade_independently(self):
+        rng = np.random.default_rng(3)
+        fader = _Ar1Fader(n_bands=32, doppler_hz=50.0, rng=rng)
+        gains = np.stack([fader.advance(0.05) for _ in range(200)])
+        corr = np.corrcoef(gains[:, 0], gains[:, 1])[0, 1]
+        assert abs(corr) < 0.3
+
+
+class TestUeChannel:
+    def test_mean_sinr_within_scenario_bounds(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=0)
+        for i in range(30):
+            ch = model.add_ue(i)
+            sinr = ch.mean_sinr_db()
+            assert PEDESTRIAN.sinr_floor_db <= sinr <= PEDESTRIAN.sinr_cap_db
+
+    def test_update_changes_fading_state(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=0)
+        ch = model.add_ue(0)
+        before = ch.subband_sinr_db.copy()
+        ch.update(0.005)
+        ch.update(0.050)
+        assert not np.allclose(before, ch.subband_sinr_db)
+
+    def test_reported_cqi_tracks_sinr(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=1)
+        ch = model.add_ue(0)
+        ch.update(0.005)
+        cqi = ch.reported_cqi
+        assert cqi.shape == (grid.num_subbands,)
+        assert (cqi >= 0).all() and (cqi <= 15).all()
+
+    def test_wideband_cqi_in_range(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=2)
+        ch = model.add_ue(0)
+        assert 0 <= ch.wideband_cqi() <= 15
+
+    def test_update_is_noop_for_nonpositive_dt(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=0)
+        ch = model.add_ue(0)
+        ch.update(0.010)
+        snapshot = ch.subband_sinr_db.copy()
+        ch.update(0.010)  # same time again
+        assert np.allclose(snapshot, ch.subband_sinr_db)
+
+
+class TestChannelModel:
+    def test_rate_matrix_shape(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=0)
+        for i in range(5):
+            model.add_ue(i)
+        rates = model.rate_matrix_bits()
+        assert rates.shape == (5, grid.num_rbs)
+        assert (rates >= 0).all()
+
+    def test_rate_matrix_empty(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=0)
+        assert model.rate_matrix_bits().shape == (0, grid.num_rbs)
+
+    def test_rates_constant_within_subband(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=0)
+        model.add_ue(0)
+        rates = model.rate_matrix_bits()
+        sb = grid.subband_rbs
+        assert np.allclose(rates[0, :sb], rates[0, 0])
+
+    def test_cqi_matrix_matches_rates(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=0)
+        model.add_ue(0)
+        cqi = model.cqi_matrix()
+        rates = model.rate_matrix_bits()
+        # Zero CQI means zero rate and vice versa.
+        assert ((cqi == 0) == (rates == 0)).all()
+
+    def test_update_all_advances_every_ue(self, grid):
+        model = ChannelModel(grid, PEDESTRIAN, seed=0)
+        for i in range(3):
+            model.add_ue(i)
+        before = model.rate_matrix_bits().copy()
+        model.update_all(0.1)
+        model.update_all(0.5)
+        assert not np.allclose(before, model.rate_matrix_bits())
+
+    def test_deterministic_for_seed(self, grid):
+        def build():
+            model = ChannelModel(grid, PEDESTRIAN, seed=42)
+            for i in range(4):
+                model.add_ue(i)
+            model.update_all(0.005)
+            return model.rate_matrix_bits()
+
+        assert np.allclose(build(), build())
+
+    def test_jakes_scenario_variant(self, grid):
+        scenario = PEDESTRIAN.with_overrides(fading="jakes")
+        model = ChannelModel(grid, scenario, seed=0)
+        ch = model.add_ue(0)
+        ch.update(0.005)
+        assert np.isfinite(ch.subband_sinr_db).all()
+
+
+class TestScenarios:
+    def test_all_presets_constructible(self, grid):
+        for name, scenario in SCENARIOS.items():
+            model = ChannelModel(grid, scenario, seed=0)
+            ch = model.add_ue(0)
+            ch.update(scenario.cqi_period_s)
+            assert np.isfinite(ch.subband_sinr_db).all(), name
+
+    def test_doppler_scales_with_speed(self):
+        rome = SCENARIOS["rome"]
+        boston = SCENARIOS["boston"]
+        assert boston.doppler_hz() > rome.doppler_hz()
+
+    def test_static_scenario_low_doppler(self):
+        powder = SCENARIOS["powder"]
+        assert powder.doppler_hz() < SCENARIOS["boston"].doppler_hz()

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main, result_summary
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scheduler == "outran"
+        assert args.rat == "lte"
+
+    def test_nr_options(self):
+        args = build_parser().parse_args(["--rat", "nr", "--mu", "3", "--mec"])
+        cfg = config_from_args(args)
+        assert cfg.tti_us == 125
+        assert cfg.server_delay_us == 5_000
+
+    def test_lte_config(self):
+        args = build_parser().parse_args(["--ues", "7", "--load", "0.5"])
+        cfg = config_from_args(args)
+        assert cfg.num_ues == 7
+        assert cfg.traffic.load == 0.5
+
+    def test_distribution_override(self):
+        args = build_parser().parse_args(["--distribution", "websearch"])
+        cfg = config_from_args(args)
+        assert cfg.traffic.distribution == "websearch"
+
+    def test_invalid_rlc_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--rlc-mode", "tm"])
+
+
+class TestMain:
+    def test_single_run_prints_summary(self, capsys):
+        rc = main(["--ues", "3", "--load", "0.4", "--duration", "1", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg FCT" in out
+
+    def test_compare_mode_prints_table(self, capsys):
+        rc = main(
+            ["--compare", "pf", "outran", "--ues", "3", "--load", "0.4",
+             "--duration", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pf" in out and "outran" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        main(["--ues", "3", "--load", "0.4", "--duration", "1", "--json", str(path)])
+        data = json.loads(path.read_text())
+        assert data["completed_flows"] > 0
+        assert "avg_fct_ms" in data
+
+    def test_json_output_compare(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        main(
+            ["--compare", "pf", "outran", "--ues", "3", "--load", "0.4",
+             "--duration", "1", "--json", str(path)]
+        )
+        data = json.loads(path.read_text())
+        assert isinstance(data, list) and len(data) == 2

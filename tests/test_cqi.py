@@ -1,0 +1,116 @@
+"""Tests for CQI/MCS tables and SINR mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.cqi import (
+    CqiTable,
+    MAX_CQI,
+    SINR_THRESHOLDS_DB,
+    TABLE_64QAM,
+    TABLE_256QAM,
+    cqi_to_efficiency,
+    sinr_to_cqi,
+)
+
+
+class TestTables:
+    def test_64qam_table_has_16_rows(self):
+        assert len(TABLE_64QAM) == 16
+        assert TABLE_64QAM[15].efficiency == pytest.approx(5.5547)
+
+    def test_256qam_top_efficiency(self):
+        assert TABLE_256QAM[15].efficiency == pytest.approx(7.4063)
+        assert TABLE_256QAM[15].bits_per_symbol == 8
+
+    def test_efficiency_monotone_in_cqi(self):
+        for table in (TABLE_64QAM, TABLE_256QAM):
+            effs = [row.efficiency for row in table]
+            assert effs == sorted(effs)
+
+    def test_efficiency_consistent_with_modulation_and_rate(self):
+        for row in TABLE_64QAM[1:]:
+            assert row.efficiency == pytest.approx(
+                row.bits_per_symbol * row.code_rate, rel=0.01
+            )
+
+
+class TestCqiTable:
+    def test_efficiency_lookup(self):
+        table = CqiTable(use_256qam=False)
+        assert table.efficiency(0) == 0.0
+        assert table.efficiency(15) == pytest.approx(5.5547)
+
+    def test_efficiency_out_of_range(self):
+        table = CqiTable()
+        with pytest.raises(ValueError):
+            table.efficiency(16)
+        with pytest.raises(ValueError):
+            table.efficiency(-1)
+
+    def test_from_sinr_very_low_gives_zero(self):
+        table = CqiTable()
+        assert table.from_sinr_db(np.array([-20.0]))[0] == 0
+
+    def test_from_sinr_very_high_gives_max(self):
+        table = CqiTable()
+        assert table.from_sinr_db(np.array([40.0]))[0] == MAX_CQI
+
+    def test_from_sinr_at_threshold(self):
+        table = CqiTable()
+        # Exactly at the CQI-5 threshold the UE reports CQI 5.
+        sinr = SINR_THRESHOLDS_DB[4]
+        assert table.from_sinr_db(np.array([sinr]))[0] == 5
+
+    def test_from_sinr_vectorized_shape(self):
+        table = CqiTable()
+        out = table.from_sinr_db(np.linspace(-10, 30, 7))
+        assert out.shape == (7,)
+        assert (np.diff(out) >= 0).all()
+
+    def test_efficiencies_vectorized(self):
+        table = CqiTable()
+        cqi = np.array([0, 5, 15])
+        effs = table.efficiencies(cqi)
+        assert effs[0] == 0.0
+        assert effs[2] == pytest.approx(7.4063)
+
+    def test_bler_at_threshold_is_ten_percent(self):
+        table = CqiTable()
+        cqi = np.array([7])
+        sinr = np.array([SINR_THRESHOLDS_DB[6]])
+        assert table.bler(cqi, sinr)[0] == pytest.approx(0.1, rel=0.01)
+
+    def test_bler_decreases_with_margin(self):
+        table = CqiTable()
+        cqi = np.array([7, 7, 7])
+        sinr = SINR_THRESHOLDS_DB[6] + np.array([0.0, 3.0, 10.0])
+        bler = table.bler(cqi, sinr)
+        assert bler[0] > bler[1] > bler[2]
+
+    def test_bler_capped_at_one(self):
+        table = CqiTable()
+        bler = table.bler(np.array([15]), np.array([-30.0]))
+        assert bler[0] == 1.0
+
+
+class TestScalarHelpers:
+    def test_sinr_to_cqi(self):
+        assert sinr_to_cqi(-20.0) == 0
+        assert sinr_to_cqi(50.0) == 15
+
+    def test_cqi_to_efficiency(self):
+        assert cqi_to_efficiency(0) == 0.0
+        assert cqi_to_efficiency(15) > 7.0
+
+
+@given(st.floats(min_value=-30, max_value=50, allow_nan=False))
+def test_property_cqi_monotone_in_sinr(sinr):
+    """CQI never decreases when SINR improves by 1 dB."""
+    assert sinr_to_cqi(sinr + 1.0) >= sinr_to_cqi(sinr)
+
+
+@given(st.integers(min_value=0, max_value=14))
+def test_property_efficiency_strictly_increases(cqi):
+    assert cqi_to_efficiency(cqi + 1) > cqi_to_efficiency(cqi)

@@ -1,0 +1,147 @@
+"""Edge-case coverage across modules (distinct behaviours, not dupes)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CellSimulation, SimConfig
+from repro.core.mlfq import MlfqConfig
+from repro.net.packet import FiveTuple, Packet
+from repro.phy.numerology import Numerology, RadioGrid
+from repro.phy.scenarios import SCENARIOS
+from repro.sim.engine import EventEngine
+from repro.traffic.webpage import Webpage, page_flow_sizes, page_waves
+
+
+class TestEngineEdges:
+    def test_event_at_current_time_fires(self):
+        engine = EventEngine()
+        engine.run_until(100)
+        fired = []
+        engine.schedule_at(100, fired.append, 1)
+        engine.run_until(100)
+        assert fired == [1]
+
+    def test_cancel_inside_callback(self):
+        engine = EventEngine()
+        fired = []
+        later = engine.schedule_at(20, fired.append, "late")
+
+        def first():
+            fired.append("early")
+            later.cancel()
+
+        engine.schedule_at(10, first)
+        engine.run()
+        assert fired == ["early"]
+
+    def test_pending_counts_tombstones(self):
+        engine = EventEngine()
+        event = engine.schedule_at(10, lambda: None)
+        event.cancel()
+        assert engine.pending() == 1
+        engine.run()
+        assert engine.pending() == 0
+
+
+class TestGridEdges:
+    def test_subband_larger_than_grid(self):
+        grid = RadioGrid(Numerology(0), num_rbs=5, subband_rbs=100)
+        assert grid.num_subbands == 1
+        assert grid.subband_of_rb(4) == 0
+
+    def test_single_rb_grid(self):
+        grid = RadioGrid(Numerology(3), num_rbs=1, subband_rbs=1)
+        assert grid.bandwidth_hz == Numerology(3).rb_bandwidth_hz
+
+
+class TestConfigEdges:
+    def test_with_overrides_preserves_unrelated_fields(self):
+        cfg = SimConfig.lte_default(num_ues=5, load=0.7, seed=3)
+        new = cfg.with_overrides(radio_bler=0.1)
+        assert new.radio_bler == 0.1
+        assert new.num_ues == 5
+        assert new.traffic.load == 0.7
+        assert cfg.radio_bler == 0.0  # original untouched
+
+    def test_air_and_ul_delays_scale_with_numerology(self):
+        lte = SimConfig.lte_default(num_ues=2)
+        nr3 = SimConfig.nr_default(mu=3, num_ues=2)
+        assert lte.air_delay_us == 4_000
+        assert nr3.air_delay_us == 500  # 4 slots of 125 us
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_preset_simulates(self, name):
+        cfg = SimConfig.lte_default(
+            num_ues=2, load=0.4, seed=1, scenario=SCENARIOS[name],
+            bandwidth_mhz=5,
+        )
+        res = CellSimulation(cfg, "outran").run(duration_s=0.6)
+        assert res.completed_flows > 0
+
+
+class TestWebpageEdges:
+    def test_single_flow_page(self):
+        page = Webpage("one.example", page_bytes=10_000, num_flows=1, waves=3)
+        rng = np.random.default_rng(0)
+        sizes = page_flow_sizes(page, rng)
+        assert sizes == [10_000]
+        waves = page_waves(page, sizes)
+        assert waves == [[10_000]]
+
+    def test_two_flow_page_has_root_then_rest(self):
+        page = Webpage("two.example", page_bytes=10_000, num_flows=2, waves=3)
+        rng = np.random.default_rng(1)
+        waves = page_waves(page, page_flow_sizes(page, rng))
+        assert len(waves) == 2
+        assert len(waves[0]) == 1
+
+
+class TestPacketEdges:
+    def test_zero_payload_ack_wire_size(self):
+        ack = Packet(FiveTuple(1, 2, 3, 4), 0, 0, 0, is_ack=True, ack_seq=10)
+        assert ack.wire_bytes == 40  # headers only
+
+    def test_packet_ids_unique(self):
+        a = Packet(FiveTuple(1, 2, 3, 4), 0, 0, 10)
+        b = Packet(FiveTuple(1, 2, 3, 4), 0, 0, 10)
+        assert a.packet_id != b.packet_id
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    thresholds=st.lists(
+        st.integers(1, 10**8), min_size=1, max_size=6, unique=True
+    ),
+    sent=st.integers(0, 2 * 10**8),
+)
+def test_property_mlfq_level_monotone_in_bytes(thresholds, sent):
+    """More sent-bytes never means a *higher* priority."""
+    ladder = tuple(sorted(thresholds))
+    config = MlfqConfig(num_queues=len(ladder) + 1, thresholds=ladder)
+    level = config.level_for_bytes(sent)
+    assert config.level_for_bytes(sent + 1) >= level
+    assert 0 <= level <= len(ladder)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ports=st.lists(st.integers(1, 60_000), min_size=1, max_size=20, unique=True),
+    sizes=st.data(),
+)
+def test_property_handover_roundtrip(ports, sizes):
+    """Export/import preserves every flow's level, for any flow set."""
+    from repro.core.flow_table import FlowTable
+    from repro.core.handover import export_flow_state, import_flow_state
+
+    table = FlowTable(MlfqConfig())
+    for port in ports:
+        nbytes = sizes.draw(st.integers(0, 5_000_000))
+        table.observe(FiveTuple(1, 2, 443, port), nbytes, 0)
+    dst = FlowTable(MlfqConfig())
+    assert import_flow_state(dst, export_flow_state(table)) == len(ports)
+    for port in ports:
+        ft = FiveTuple(1, 2, 443, port)
+        assert dst.level_of(ft) == table.level_of(ft)

@@ -1,0 +1,124 @@
+"""Unit tests for the xNodeB TTI machinery (isolated from full runs)."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import FiveTuple, Packet
+from repro.sim.cell import CellSimulation
+from repro.sim.config import SimConfig
+
+
+def make_sim(scheduler="pf", **overrides):
+    cfg = SimConfig.lte_default(num_ues=3, seed=1, **overrides)
+    return CellSimulation(cfg, scheduler=scheduler, flows=[])
+
+
+def ingress_packet(sim, ue_index=0, payload=1000, port=50_000, seq=0):
+    packet = Packet(FiveTuple(1, 100 + ue_index, 443, port), 0, seq, payload)
+    sim.enb.ingress(ue_index, packet)
+    return packet
+
+
+class TestIngress:
+    def test_packet_lands_in_ue_buffer(self):
+        sim = make_sim()
+        ingress_packet(sim, ue_index=1)
+        assert sim.ues[1].rlc.buffered_sdus == 1
+        assert sim.ues[0].rlc.buffered_sdus == 0
+
+    def test_flow_table_updated(self):
+        sim = make_sim("outran")
+        ingress_packet(sim, ue_index=0)
+        assert len(sim.ues[0].flow_table) == 1
+
+    def test_overflow_counted_at_harvest(self):
+        sim = make_sim(rlc_capacity_sdus=2)
+        for i in range(5):
+            ingress_packet(sim, seq=i * 1000)
+        sim._harvest_counters()
+        assert sim.metrics.sdus_dropped == 3
+
+
+class TestTtiLoop:
+    def test_idle_tti_serves_nothing(self):
+        sim = make_sim()
+        sim.enb.on_tti()
+        assert sim.metrics.total_bits == 0
+
+    def test_backlogged_ue_gets_grant(self):
+        sim = make_sim()
+        ingress_packet(sim)
+        sim.enb.on_tti()
+        assert sim.metrics.total_bits > 0
+        assert sim.ues[0].rlc.buffered_sdus == 0
+
+    def test_transport_block_delivered_after_air_delay(self):
+        sim = make_sim()
+        packet = ingress_packet(sim)
+        sim.enb.on_tti()
+        received = []
+        sim.ues[0].receivers[packet.flow_id] = type(
+            "Rx", (), {"on_data": lambda self, p, t: received.append(p)}
+        )()
+        sim.engine.run_until(sim.engine.now_us + sim.config.air_delay_us + 1)
+        assert received and received[0].packet_id == packet.packet_id
+
+    def test_bler_one_loses_every_tb(self):
+        sim = make_sim(radio_bler=0.99, harq_enabled=False)
+        ingress_packet(sim)
+        sim.enb.on_tti()
+        sim.engine.run_until(sim.engine.now_us + 100_000)
+        # With near-certain BLER the TB is counted lost, nothing delivered.
+        assert sim.enb.tbs_lost >= 1
+
+    def test_grant_respects_backlog(self):
+        """A UE with little data transmits only that data."""
+        sim = make_sim()
+        ingress_packet(sim, payload=300)
+        sim.enb.on_tti()
+        # Served bits account the actual PDU (payload + headers), far
+        # below the full-grid grant.
+        assert 0 < sim.metrics.total_bits < 10_000
+
+    def test_last_served_updated(self):
+        sim = make_sim()
+        ingress_packet(sim)
+        sim.engine.now_us = 5_000
+        sim.enb.on_tti()
+        assert sim.ues[0].sched.last_served_us == 5_000
+
+    def test_multiple_ues_share_grid(self):
+        sim = make_sim()
+        for ue in range(3):
+            for i in range(120):
+                ingress_packet(sim, ue_index=ue, payload=1400, seq=i * 1400)
+        # A single TTI may go entirely to the instantaneously best channel,
+        # but PF's EWMA must spread service within a few TTIs.
+        for _ in range(20):
+            sim.enb.on_tti()
+        served = {ue.index for ue in sim.ues if ue.rlc.buffered_sdus < 120}
+        assert len(served) >= 2
+
+
+class TestOracleWiring:
+    def test_srjf_sees_remaining_bytes(self):
+        from repro.traffic.generator import FlowSpec
+
+        cfg = SimConfig.lte_default(num_ues=2, seed=1)
+        sim = CellSimulation(cfg, scheduler="srjf", flows=[])
+        spec = FlowSpec(0, 0, 50_000, 1_000)
+        sim.engine.schedule_at(1_000, sim._start_flow, spec)
+        sim.engine.run_until(40_000)
+        sim.enb.on_tti()
+        assert sim.ues[0].sched.remaining_flow_bytes is not None
+
+    def test_qos_oracle_marks_short_flows(self):
+        from repro.traffic.generator import FlowSpec
+
+        cfg = SimConfig.lte_default(num_ues=2, seed=1)
+        sim = CellSimulation(cfg, scheduler="cqa", flows=[])
+        spec = FlowSpec(0, 0, 5_000, 1_000, qos_short=True)
+        sim.engine.schedule_at(1_000, sim._start_flow, spec)
+        sim.engine.run_until(40_000)
+        sim.enb.on_tti()
+        assert sim.ues[0].sched.qos_deadline_flows == 1

@@ -1,0 +1,180 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import (
+    EventEngine,
+    PeriodicTask,
+    US_PER_MS,
+    US_PER_SEC,
+    microseconds,
+    seconds,
+)
+
+
+class TestConversions:
+    def test_seconds(self):
+        assert seconds(1_500_000) == 1.5
+
+    def test_microseconds(self):
+        assert microseconds(1.5) == 1_500_000
+
+    def test_roundtrip(self):
+        assert seconds(microseconds(0.123456)) == pytest.approx(0.123456)
+
+    def test_constants(self):
+        assert US_PER_SEC == 1_000_000
+        assert US_PER_MS == 1_000
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(30, fired.append, "c")
+        engine.schedule_at(10, fired.append, "a")
+        engine.schedule_at(20, fired.append, "b")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo_order(self):
+        engine = EventEngine()
+        fired = []
+        for tag in range(5):
+            engine.schedule_at(100, fired.append, tag)
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_is_relative(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule_at(50, lambda: engine.schedule_in(25, lambda: seen.append(engine.now_us)))
+        engine.run()
+        assert seen == [75]
+
+    def test_schedule_into_past_raises(self):
+        engine = EventEngine()
+        engine.schedule_at(10, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_in(-1, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        engine = EventEngine()
+        fired = []
+        event = engine.schedule_at(10, fired.append, "x")
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run_fire(self):
+        engine = EventEngine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule_in(10, chain, n + 1)
+
+        engine.schedule_at(0, chain, 0)
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_events_processed_counter(self):
+        engine = EventEngine()
+        for t in range(5):
+            engine.schedule_at(t, lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+
+class TestRunUntil:
+    def test_clock_reaches_end_even_when_queue_drains(self):
+        engine = EventEngine()
+        engine.schedule_at(10, lambda: None)
+        engine.run_until(1000)
+        assert engine.now_us == 1000
+
+    def test_future_events_stay_queued(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(10, fired.append, "early")
+        engine.schedule_at(2000, fired.append, "late")
+        engine.run_until(1000)
+        assert fired == ["early"]
+        engine.run_until(3000)
+        assert fired == ["early", "late"]
+
+    def test_event_exactly_at_boundary_fires(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(1000, fired.append, "edge")
+        engine.run_until(1000)
+        assert fired == ["edge"]
+
+    def test_stop_halts_processing(self):
+        engine = EventEngine()
+        fired = []
+
+        def first():
+            fired.append(1)
+            engine.stop()
+
+        engine.schedule_at(1, first)
+        engine.schedule_at(2, fired.append, 2)
+        engine.run()
+        assert fired == [1]
+
+    def test_monotonic_now_across_runs(self):
+        engine = EventEngine()
+        engine.run_until(500)
+        engine.schedule_at(600, lambda: None)
+        engine.run_until(700)
+        assert engine.now_us == 700
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        engine = EventEngine()
+        ticks = []
+        PeriodicTask(engine, 100, lambda: ticks.append(engine.now_us))
+        engine.run_until(450)
+        assert ticks == [100, 200, 300, 400]
+
+    def test_custom_start(self):
+        engine = EventEngine()
+        ticks = []
+        PeriodicTask(engine, 100, lambda: ticks.append(engine.now_us), start_us=50)
+        engine.run_until(300)
+        assert ticks == [50, 150, 250]
+
+    def test_stop_prevents_future_fires(self):
+        engine = EventEngine()
+        ticks = []
+        task = PeriodicTask(engine, 100, lambda: ticks.append(engine.now_us))
+        engine.run_until(250)
+        task.stop()
+        engine.run_until(1000)
+        assert ticks == [100, 200]
+
+    def test_invalid_period_raises(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            PeriodicTask(engine, 0, lambda: None)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+def test_property_fire_order_matches_sorted_times(times):
+    """Whatever the scheduling order, events fire in nondecreasing time."""
+    engine = EventEngine()
+    fired = []
+    for t in times:
+        engine.schedule_at(t, lambda t=t: fired.append(t))
+    engine.run()
+    assert fired == sorted(times)

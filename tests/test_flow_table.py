@@ -1,0 +1,103 @@
+"""Tests for the PDCP five-tuple flow table."""
+
+import pytest
+
+from repro.core.flow_table import FLOW_STATE_BYTES, FlowTable
+from repro.core.mlfq import MlfqConfig
+from repro.net.packet import FiveTuple
+
+
+@pytest.fixture
+def config():
+    return MlfqConfig(num_queues=3, thresholds=(1000, 10_000))
+
+
+@pytest.fixture
+def ft():
+    return FiveTuple(1, 2, 443, 12345)
+
+
+class TestObserve:
+    def test_new_flow_starts_at_top(self, config, ft):
+        table = FlowTable(config)
+        assert table.observe(ft, 500, now_us=0) == 0
+
+    def test_demotion_after_threshold(self, config, ft):
+        table = FlowTable(config)
+        table.observe(ft, 600, 0)   # sent 0 before -> level 0
+        assert table.observe(ft, 600, 1) == 0  # 600 sent -> still < 1000
+        assert table.observe(ft, 600, 2) == 1  # 1200 sent -> level 1
+
+    def test_packet_crossing_threshold_keeps_old_level(self, config, ft):
+        """PIAS rule: the level reflects bytes sent *before* the packet."""
+        table = FlowTable(config)
+        assert table.observe(ft, 999, 0) == 0
+        assert table.observe(ft, 1, 1) == 0   # 999 < 1000 still level 0
+        assert table.observe(ft, 1, 2) == 1   # 1000 crossed
+
+    def test_bottom_level_is_sticky(self, config, ft):
+        table = FlowTable(config)
+        table.observe(ft, 100_000, 0)
+        assert table.observe(ft, 1, 1) == 2
+        assert table.observe(ft, 10**9, 2) == 2
+
+    def test_flows_tracked_independently(self, config):
+        table = FlowTable(config)
+        a = FiveTuple(1, 2, 443, 1)
+        b = FiveTuple(1, 2, 443, 2)
+        table.observe(a, 5_000, 0)
+        assert table.observe(b, 100, 1) == 0
+        assert table.level_of(a) == 1
+        assert len(table) == 2
+
+    def test_sent_bytes_accumulates(self, config, ft):
+        table = FlowTable(config)
+        table.observe(ft, 100, 0)
+        table.observe(ft, 200, 1)
+        assert table.sent_bytes(ft) == 300
+
+    def test_unknown_flow_defaults(self, config, ft):
+        table = FlowTable(config)
+        assert table.level_of(ft) == 0
+        assert table.sent_bytes(ft) == 0
+
+
+class TestLifecycle:
+    def test_idle_timeout_resets_flow(self, config, ft):
+        table = FlowTable(config, idle_timeout_us=1_000_000)
+        table.observe(ft, 50_000, 0)
+        assert table.level_of(ft) == 2
+        # Reused five-tuple after a long pause: fresh logical flow.
+        assert table.observe(ft, 100, 2_000_001) == 0
+
+    def test_reset_all_restores_top_priority(self, config, ft):
+        table = FlowTable(config)
+        table.observe(ft, 50_000, 0)
+        table.reset_all()
+        assert table.level_of(ft) == 0
+
+    def test_expire_idle_frees_entries(self, config):
+        table = FlowTable(config, idle_timeout_us=100)
+        table.observe(FiveTuple(1, 2, 3, 4), 10, now_us=0)
+        table.observe(FiveTuple(1, 2, 3, 5), 10, now_us=500)
+        assert table.expire_idle(now_us=550) == 1
+        assert len(table) == 1
+
+    def test_expire_without_timeout_is_noop(self, config, ft):
+        table = FlowTable(config, idle_timeout_us=None)
+        table.observe(ft, 10, 0)
+        assert table.expire_idle(10**9) == 0
+
+    def test_state_bytes_accounting(self, config):
+        """Paper section 7: 41 bytes per flow."""
+        table = FlowTable(config)
+        for port in range(10):
+            table.observe(FiveTuple(1, 2, 443, port), 1, 0)
+        assert table.state_bytes() == 10 * FLOW_STATE_BYTES
+        assert FLOW_STATE_BYTES == 41
+
+    def test_packets_observed_counter(self, config, ft):
+        table = FlowTable(config)
+        for _ in range(7):
+            table.observe(ft, 10, 0)
+        assert table.packets_observed == 7

@@ -1,0 +1,170 @@
+"""Tests for the epsilon-relaxed inter-user re-selection (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.inter_user import (
+    IDLE_LEVEL,
+    head_levels,
+    relaxed_candidates,
+    reselect_users,
+    reselect_users_top_k,
+    top_k_candidates,
+)
+
+
+def _levels(values):
+    return head_levels(values)
+
+
+class TestHeadLevels:
+    def test_none_maps_to_idle(self):
+        out = head_levels([0, None, 3])
+        assert out[0] == 0
+        assert out[1] == IDLE_LEVEL
+        assert out[2] == 3
+
+
+class TestRelaxedCandidates:
+    def test_eps_zero_admits_only_argmax(self):
+        metric = np.array([[10.0, 1.0], [5.0, 2.0]])
+        active = np.array([True, True])
+        eligible = relaxed_candidates(metric, active, epsilon=0.0)
+        assert eligible[:, 0].tolist() == [True, False]
+        assert eligible[:, 1].tolist() == [False, True]
+
+    def test_eps_one_admits_all_active(self):
+        metric = np.array([[10.0, 1.0], [0.1, 2.0]])
+        active = np.array([True, True])
+        eligible = relaxed_candidates(metric, active, epsilon=1.0)
+        assert eligible.all()
+
+    def test_partial_relaxation_cutoff(self):
+        metric = np.array([[10.0], [8.5], [7.0]])
+        active = np.array([True, True, True])
+        eligible = relaxed_candidates(metric, active, epsilon=0.2)
+        # cutoff = 8.0: users at 10 and 8.5 qualify, 7.0 does not.
+        assert eligible[:, 0].tolist() == [True, True, False]
+
+    def test_inactive_user_never_candidate(self):
+        metric = np.array([[10.0], [100.0]])
+        active = np.array([True, False])
+        eligible = relaxed_candidates(metric, active, epsilon=1.0)
+        assert eligible[:, 0].tolist() == [True, False]
+
+    def test_invalid_epsilon(self):
+        metric = np.ones((1, 1))
+        with pytest.raises(ValueError):
+            relaxed_candidates(metric, np.array([True]), epsilon=1.5)
+
+    def test_condenses_under_heterogeneous_metrics(self):
+        """Figure 6: heterogeneous distribution shrinks the room."""
+        homogeneous = np.array([[10.0], [9.9], [9.8], [9.7]])
+        heterogeneous = np.array([[10.0], [5.0], [2.0], [1.0]])
+        active = np.array([True] * 4)
+        n_hom = relaxed_candidates(homogeneous, active, 0.2).sum()
+        n_het = relaxed_candidates(heterogeneous, active, 0.2).sum()
+        assert n_hom == 4
+        assert n_het == 1
+
+
+class TestReselect:
+    def test_eps_zero_equals_legacy_argmax(self):
+        rng = np.random.default_rng(0)
+        metric = rng.uniform(0.1, 10.0, size=(6, 20))
+        active = np.array([True] * 6)
+        levels = _levels([3, 0, 1, 2, 0, 3])
+        owner = reselect_users(metric, active, levels, epsilon=0.0)
+        assert (owner == metric.argmax(axis=0)).all()
+
+    def test_shorter_flow_user_wins_within_room(self):
+        metric = np.array([[10.0], [9.0]])
+        active = np.array([True, True])
+        levels = _levels([3, 0])  # user 1 has the shorter flow
+        owner = reselect_users(metric, active, levels, epsilon=0.2)
+        assert owner[0] == 1
+
+    def test_out_of_room_user_cannot_win(self):
+        metric = np.array([[10.0], [1.0]])
+        active = np.array([True, True])
+        levels = _levels([3, 0])
+        owner = reselect_users(metric, active, levels, epsilon=0.2)
+        assert owner[0] == 0
+
+    def test_tie_on_level_keeps_best_metric(self):
+        metric = np.array([[10.0], [9.0]])
+        active = np.array([True, True])
+        levels = _levels([1, 1])
+        owner = reselect_users(metric, active, levels, epsilon=0.5)
+        assert owner[0] == 0
+
+    def test_no_active_users_gives_minus_one(self):
+        metric = np.ones((3, 4))
+        active = np.array([False] * 3)
+        owner = reselect_users(metric, active, _levels([0, 0, 0]), 0.2)
+        assert (owner == -1).all()
+
+    def test_empty_metric(self):
+        owner = reselect_users(
+            np.zeros((0, 5)), np.array([], dtype=bool), _levels([]), 0.2
+        )
+        assert (owner == -1).all()
+        assert owner.shape == (5,)
+
+    def test_per_rb_independence(self):
+        """Different RBs can pick different users."""
+        metric = np.array([[10.0, 1.0], [1.0, 10.0]])
+        active = np.array([True, True])
+        owner = reselect_users(metric, active, _levels([0, 0]), 0.2)
+        assert owner.tolist() == [0, 1]
+
+
+class TestTopK:
+    def test_top_k_admits_exactly_k(self):
+        metric = np.array([[4.0], [3.0], [2.0], [1.0]])
+        active = np.array([True] * 4)
+        eligible = top_k_candidates(metric, active, k=2)
+        assert eligible[:, 0].tolist() == [True, True, False, False]
+
+    def test_top_k_does_not_condense(self):
+        """Unlike epsilon, top-K admits far-apart metrics (section 4.3)."""
+        heterogeneous = np.array([[10.0], [0.01]])
+        active = np.array([True, True])
+        eligible = top_k_candidates(heterogeneous, active, k=2)
+        assert eligible.sum() == 2
+
+    def test_top_k_reselects_shorter(self):
+        metric = np.array([[10.0], [0.01]])
+        active = np.array([True, True])
+        owner = reselect_users_top_k(metric, active, _levels([3, 0]), k=2)
+        assert owner[0] == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_candidates(np.ones((2, 2)), np.array([True, True]), k=0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    epsilon=st.floats(min_value=0.0, max_value=1.0),
+    num_users=st.integers(2, 8),
+    num_rbs=st.integers(1, 12),
+)
+def test_property_metric_guarantee(seed, epsilon, num_users, num_rbs):
+    """Algorithm 1's invariant: every allocated RB keeps at least
+    (1 - eps) of the legacy per-RB metric (paper eq. 2)."""
+    rng = np.random.default_rng(seed)
+    metric = rng.uniform(0.0, 10.0, size=(num_users, num_rbs))
+    active = rng.uniform(size=num_users) < 0.8
+    levels = head_levels(list(rng.integers(0, 4, size=num_users)))
+    owner = reselect_users(metric, active, levels, epsilon)
+    masked = np.where(active[:, None], metric, -np.inf)
+    m_max = masked.max(axis=0)
+    for rb in range(num_rbs):
+        if owner[rb] < 0:
+            assert not active.any() or not np.isfinite(m_max[rb])
+            continue
+        assert active[owner[rb]]
+        assert metric[owner[rb], rb] >= (1.0 - epsilon) * m_max[rb] - 1e-9

@@ -1,0 +1,101 @@
+"""Tests for the inter-cell interference model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import ChannelModel, pathloss_db
+from repro.phy.interference import (
+    hexagonal_neighbors,
+    interference_mw,
+    sinr_db_with_interference,
+)
+from repro.phy.numerology import RadioGrid
+from repro.phy.scenarios import PEDESTRIAN
+
+
+class TestHexLayout:
+    def test_six_neighbors_at_isd(self):
+        neighbors = hexagonal_neighbors(500.0)
+        assert len(neighbors) == 6
+        for x, y in neighbors:
+            assert math.hypot(x, y) == pytest.approx(500.0)
+
+    def test_invalid_isd(self):
+        with pytest.raises(ValueError):
+            hexagonal_neighbors(0.0)
+
+    def test_only_first_ring(self):
+        with pytest.raises(ValueError):
+            hexagonal_neighbors(500.0, ring=2)
+
+
+class TestInterferencePower:
+    def test_zero_without_neighbors(self):
+        assert interference_mw((0, 0), (), 43.0) == 0.0
+
+    def test_scales_with_activity(self):
+        neighbors = hexagonal_neighbors(500.0)
+        half = interference_mw((0, 0), neighbors, 43.0, activity=0.5)
+        full = interference_mw((0, 0), neighbors, 43.0, activity=1.0)
+        assert full == pytest.approx(2 * half)
+
+    def test_edge_ue_sees_more_interference(self):
+        neighbors = hexagonal_neighbors(500.0)
+        center = interference_mw((0, 0), neighbors, 43.0)
+        # Standing toward a neighbor: much closer to it.
+        edge = interference_mw((200, 0), neighbors, 43.0)
+        assert edge > center
+
+    def test_invalid_activity(self):
+        with pytest.raises(ValueError):
+            interference_mw((0, 0), (), 43.0, activity=1.5)
+
+
+class TestSinr:
+    def test_interference_lowers_sinr(self):
+        neighbors = hexagonal_neighbors(400.0)
+        noise_dbm = -100.0
+        clean = sinr_db_with_interference(-70.0, noise_dbm, (0, 0), (), 43.0)
+        loaded = sinr_db_with_interference(
+            -70.0, noise_dbm, (150, 0), neighbors, 43.0, activity=1.0
+        )
+        assert clean == pytest.approx(30.0)
+        assert loaded < clean
+
+    def test_noise_floor_without_neighbors(self):
+        assert sinr_db_with_interference(
+            -70.0, -100.0, (0, 0), (), 43.0
+        ) == pytest.approx(30.0)
+
+
+class TestChannelIntegration:
+    def test_neighbor_scenario_reduces_mean_sinr(self):
+        grid = RadioGrid.lte(10.0)
+        base = PEDESTRIAN.with_overrides(interference_margin_db=0.0, static=True)
+        loaded = base.with_overrides(
+            neighbor_cells=hexagonal_neighbors(500.0),
+            neighbor_activity=1.0,
+        )
+        clean_model = ChannelModel(grid, base, seed=7)
+        loaded_model = ChannelModel(grid, loaded, seed=7)
+        clean = np.array(
+            [clean_model.add_ue(i).mean_sinr_db() for i in range(20)]
+        )
+        dirty = np.array(
+            [loaded_model.add_ue(i).mean_sinr_db() for i in range(20)]
+        )
+        # Same positions (same seed): interference can only lower SINR.
+        assert (dirty <= clean + 1e-9).all()
+        assert dirty.mean() < clean.mean()
+
+    def test_simulation_runs_with_interference(self):
+        from repro import CellSimulation, SimConfig
+
+        scenario = PEDESTRIAN.with_overrides(
+            neighbor_cells=hexagonal_neighbors(600.0), neighbor_activity=0.6
+        )
+        cfg = SimConfig.lte_default(num_ues=3, load=0.5, seed=2, scenario=scenario)
+        res = CellSimulation(cfg, "outran").run(duration_s=1.0)
+        assert res.completed_flows > 0

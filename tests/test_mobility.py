@@ -1,0 +1,77 @@
+"""Tests for mobility models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.mobility import RandomWalkMobility, StaticMobility
+
+
+class TestStaticMobility:
+    def test_distance_fixed(self):
+        m = StaticMobility(50.0)
+        m.advance(100.0)
+        assert m.distance_m() == 50.0
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            StaticMobility(0.0)
+
+
+class TestRandomWalk:
+    def test_starts_inside_annulus(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            m = RandomWalkMobility(rng, cell_radius_m=200, min_distance_m=10)
+            assert 10 <= m.distance_m() <= 200 + 1e-9
+
+    def test_moves_at_configured_speed(self):
+        rng = np.random.default_rng(1)
+        m = RandomWalkMobility(
+            rng, cell_radius_m=1e6, min_distance_m=10, speed_mps=2.0,
+            mean_epoch_s=1e9,  # no turning
+        )
+        x0, y0 = m.position()
+        m.advance(10.0)
+        x1, y1 = m.position()
+        assert math.hypot(x1 - x0, y1 - y0) == pytest.approx(20.0, rel=1e-6)
+
+    def test_zero_speed_stays_put(self):
+        rng = np.random.default_rng(2)
+        m = RandomWalkMobility(rng, speed_mps=0.0)
+        d = m.distance_m()
+        m.advance(1000.0)
+        assert m.distance_m() == d
+
+    def test_reflects_off_outer_boundary(self):
+        rng = np.random.default_rng(3)
+        m = RandomWalkMobility(rng, cell_radius_m=50, min_distance_m=10, speed_mps=10)
+        for _ in range(200):
+            m.advance(1.0)
+            assert m.distance_m() <= 50 + 1e-6
+
+    def test_invalid_geometry(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWalkMobility(rng, cell_radius_m=5, min_distance_m=10)
+
+    def test_negative_speed_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWalkMobility(rng, speed_mps=-1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    steps=st.integers(min_value=1, max_value=50),
+)
+def test_property_walk_stays_in_annulus(seed, steps):
+    """The UE never escapes [min_distance, radius] regardless of path."""
+    rng = np.random.default_rng(seed)
+    m = RandomWalkMobility(rng, cell_radius_m=200, min_distance_m=10, speed_mps=1.4)
+    for _ in range(steps):
+        m.advance(5.0)
+        assert 10 - 1e-6 <= m.distance_m() <= 200 + 1e-6

@@ -1,0 +1,54 @@
+"""Tests for the multi-cell (Colosseum-style) deployment."""
+
+import numpy as np
+import pytest
+
+from repro import SimConfig
+from repro.sim.multicell import MultiCellSimulation, PooledResult
+
+
+def small_config():
+    return SimConfig.lte_default(num_ues=3, load=0.4, seed=9, bandwidth_mhz=3)
+
+
+class TestMultiCell:
+    def test_cells_get_distinct_seeds(self):
+        multi = MultiCellSimulation(small_config(), "pf", num_cells=3)
+        seeds = {cell.config.seed for cell in multi.cells}
+        assert len(seeds) == 3
+
+    def test_run_pools_all_cells(self):
+        multi = MultiCellSimulation(small_config(), "outran", num_cells=2)
+        pooled = multi.run(duration_s=1.2)
+        per_cell = [r.completed_flows for r in pooled.cells]
+        assert pooled.completed_flows == sum(per_cell)
+        assert all(n > 0 for n in per_cell)
+
+    def test_pooled_fcts_concatenate(self):
+        multi = MultiCellSimulation(small_config(), "pf", num_cells=2)
+        pooled = multi.run(duration_s=1.0)
+        assert pooled.fcts_ms().size == pooled.completed_flows
+        assert pooled.avg_fct_ms() > 0
+        assert pooled.pctl_fct_ms(95) >= pooled.pctl_fct_ms(50)
+
+    def test_pooled_system_metrics_are_means(self):
+        multi = MultiCellSimulation(small_config(), "pf", num_cells=2)
+        pooled = multi.run(duration_s=1.0)
+        assert pooled.mean_se() == pytest.approx(
+            np.mean([r.mean_se() for r in pooled.cells])
+        )
+        assert 0 < pooled.mean_fairness() <= 1.0
+
+    def test_scheduler_instance_rejected(self):
+        from repro.core.outran import OutranScheduler
+
+        with pytest.raises(TypeError):
+            MultiCellSimulation(small_config(), OutranScheduler())
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(ValueError):
+            MultiCellSimulation(small_config(), "pf", num_cells=0)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            PooledResult([])

@@ -1,0 +1,90 @@
+"""Tests for the RLC buffer overflow policies."""
+
+import pytest
+
+from repro.core.mlfq import MlfqConfig, MlfqQueue
+from repro.net.packet import FiveTuple, Packet
+from repro.rlc.um import UmTransmitter
+
+FT = FiveTuple(1, 2, 443, 4000)
+
+
+def packet(flow_id=0, payload=1000):
+    return Packet(FT, flow_id, 0, payload)
+
+
+def make_tx(policy, capacity=3):
+    return UmTransmitter(
+        0,
+        mlfq_config=MlfqConfig(num_queues=2, thresholds=(10_000,)),
+        capacity_sdus=capacity,
+        overflow_policy=policy,
+    )
+
+
+class TestTailLevel:
+    def test_empty_queue(self):
+        assert MlfqQueue().tail_level() is None
+
+    def test_reports_lowest_nonempty(self):
+        q = MlfqQueue()
+        q.push("a", 1, 0)
+        q.push("b", 1, 2)
+        assert q.tail_level() == 2
+
+    def test_promoted_only(self):
+        q = MlfqQueue()
+        q.push_promoted("s", 1)
+        assert q.tail_level() == 0
+
+
+class TestDropIncoming:
+    def test_high_priority_arrival_dropped_when_full(self):
+        tx = make_tx("drop_incoming")
+        for i in range(3):
+            assert tx.write_sdu(packet(i), level=1, now_us=0) is not None
+        assert tx.write_sdu(packet(9), level=0, now_us=0) is None
+        assert tx.sdus_dropped == 1
+        assert tx.buffered_sdus == 3
+
+
+class TestDropLowest:
+    def test_high_priority_arrival_evicts_low_priority_tail(self):
+        tx = make_tx("drop_lowest")
+        for i in range(3):
+            tx.write_sdu(packet(i), level=1, now_us=0)
+        sdu = tx.write_sdu(packet(9), level=0, now_us=0)
+        assert sdu is not None
+        assert tx.sdus_dropped == 1  # the evicted victim
+        assert tx.buffered_sdus == 3
+        # The admitted SDU is now the head (higher priority queue).
+        head, _ = tx.queue.peek()
+        assert head.packet.flow_id == 9
+
+    def test_equal_priority_arrival_still_dropped(self):
+        tx = make_tx("drop_lowest")
+        for i in range(3):
+            tx.write_sdu(packet(i), level=1, now_us=0)
+        assert tx.write_sdu(packet(9), level=1, now_us=0) is None
+        assert tx.buffered_sdus == 3
+
+    def test_drop_callback_reports_victim(self):
+        victims = []
+        tx = UmTransmitter(
+            0,
+            mlfq_config=MlfqConfig(num_queues=2, thresholds=(10_000,)),
+            capacity_sdus=2,
+            overflow_policy="drop_lowest",
+            on_sdu_dropped=victims.append,
+        )
+        tx.write_sdu(packet(1), level=1, now_us=0)
+        tx.write_sdu(packet(2), level=1, now_us=0)
+        tx.write_sdu(packet(3), level=0, now_us=0)
+        assert len(victims) == 1
+        assert victims[0].packet.flow_id == 2  # tail of the low queue
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_tx("random_early_detection")

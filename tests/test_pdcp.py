@@ -1,0 +1,138 @@
+"""Tests for PDCP numbering, ciphering, and header inspection."""
+
+import pytest
+
+from repro.core.flow_table import FlowTable
+from repro.core.mlfq import MlfqConfig
+from repro.net.packet import FiveTuple, Packet
+from repro.pdcp.entity import CipheredPdu, PdcpEntity, PdcpReceiver
+
+FT = FiveTuple(1, 2, 443, 3000)
+
+
+def make_entity(delayed_sn=True):
+    table = FlowTable(MlfqConfig(num_queues=2, thresholds=(5_000,)))
+    return PdcpEntity(table, delayed_sn=delayed_sn)
+
+
+def make_packet(payload=1000, port=3000):
+    return Packet(FiveTuple(1, 2, 443, port), 0, 0, payload)
+
+
+class TestIngress:
+    def test_header_inspection_assigns_level(self):
+        entity = make_entity()
+        level, _ = entity.ingress(make_packet(1000), 0)
+        assert level == 0
+        for _ in range(5):
+            level, _ = entity.ingress(make_packet(1000), 0)
+        assert level == 1  # demoted after 5 KB
+
+    def test_delayed_mode_assigns_no_sn_at_ingress(self):
+        entity = make_entity(delayed_sn=True)
+        _, sn = entity.ingress(make_packet(), 0)
+        assert sn is None
+
+    def test_eager_mode_assigns_sn_at_ingress(self):
+        entity = make_entity(delayed_sn=False)
+        _, sn0 = entity.ingress(make_packet(), 0)
+        _, sn1 = entity.ingress(make_packet(), 0)
+        assert (sn0, sn1) == (0, 1)
+
+    def test_flows_with_different_tuples_independent(self):
+        entity = make_entity()
+        for _ in range(6):
+            entity.ingress(make_packet(1000, port=1), 0)
+        level, _ = entity.ingress(make_packet(1000, port=2), 0)
+        assert level == 0
+
+
+class TestEgress:
+    def test_delayed_numbering_follows_transmission_order(self):
+        entity = make_entity(delayed_sn=True)
+        a = entity.egress(make_packet(), None)
+        b = entity.egress(make_packet(), None)
+        assert (a.sn, b.sn) == (0, 1)
+        assert a.cipher_key_sn == a.sn
+
+    def test_eager_egress_requires_ingress_sn(self):
+        entity = make_entity(delayed_sn=False)
+        with pytest.raises(ValueError):
+            entity.egress(make_packet(), None)
+
+    def test_eager_egress_uses_ingress_sn(self):
+        entity = make_entity(delayed_sn=False)
+        pdu = entity.egress(make_packet(), eager_sn=7)
+        assert pdu.sn == 7
+
+
+class TestReceiver:
+    def test_in_order_delivery_deciphers(self):
+        rx = PdcpReceiver(reorder_window=0)
+        for sn in range(5):
+            pdu = CipheredPdu(make_packet(), sn, sn)
+            assert rx.receive(pdu) is not None
+        assert rx.delivered == 5
+        assert rx.decipher_failures == 0
+
+    def test_reordering_within_window_ok(self):
+        rx = PdcpReceiver(reorder_window=4)
+        assert rx.receive(CipheredPdu(make_packet(), 2, 2)) is not None
+        assert rx.receive(CipheredPdu(make_packet(), 0, 0)) is not None
+
+    def test_forward_gap_from_losses_is_fine(self):
+        """Packets lost below PDCP create forward SN gaps; the receiver
+        reads the SN from the header and keeps deciphering."""
+        rx = PdcpReceiver(reorder_window=2)
+        assert rx.receive(CipheredPdu(make_packet(), 50, 50)) is not None
+        assert rx.decipher_failures == 0
+
+    def test_stale_sn_beyond_window_fails(self):
+        """Why OutRAN must delay SN numbering (section 4.4): an old SN
+        delivered after much newer ones has the wrong inferred COUNT."""
+        rx = PdcpReceiver(reorder_window=2)
+        assert rx.receive(CipheredPdu(make_packet(), 50, 50)) is not None
+        assert rx.receive(CipheredPdu(make_packet(), 10, 10)) is None
+        assert rx.decipher_failures == 1
+
+    def test_recovers_after_desync(self):
+        rx = PdcpReceiver(reorder_window=2)
+        rx.receive(CipheredPdu(make_packet(), 50, 50))
+        rx.receive(CipheredPdu(make_packet(), 10, 10))  # stale: fails
+        assert rx.receive(CipheredPdu(make_packet(), 51, 51)) is not None
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            PdcpReceiver(reorder_window=-1)
+
+
+class TestEndToEndOrdering:
+    def test_delayed_sn_survives_mlfq_reordering(self):
+        """OutRAN's fix: number at PDU build, so on-air order == SN order."""
+        entity = make_entity(delayed_sn=True)
+        rx = PdcpReceiver(reorder_window=0)
+        packets = [make_packet(port=p) for p in range(10)]
+        for p in packets:
+            entity.ingress(p, 0)
+        # The MLFQ transmits them in a scrambled order; numbering happens
+        # at that moment, so the receiver sees consecutive SNs.
+        scrambled = [packets[i] for i in (3, 1, 4, 0, 2, 9, 5, 8, 6, 7)]
+        for p in scrambled:
+            pdu = entity.egress(p, None)
+            assert rx.receive(pdu) is not None
+        assert rx.decipher_failures == 0
+
+    def test_eager_sn_breaks_under_mlfq_reordering(self):
+        entity = make_entity(delayed_sn=False)
+        rx = PdcpReceiver(reorder_window=2)
+        records = []
+        for p in range(10):
+            packet = make_packet(port=p)
+            _, sn = entity.ingress(packet, 0)
+            records.append((packet, sn))
+        scrambled = [records[i] for i in (7, 8, 9, 0, 1, 2, 3, 4, 5, 6)]
+        failures = 0
+        for packet, sn in scrambled:
+            if rx.receive(entity.egress(packet, sn)) is None:
+                failures += 1
+        assert failures > 0

@@ -1,0 +1,84 @@
+"""Tests for the seeded-replication helper."""
+
+import math
+
+import pytest
+
+from repro import SimConfig
+from repro.core.outran import OutranScheduler
+from repro.sim.replicate import (
+    MetricSummary,
+    run_replications,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_mean_and_ci(self):
+        summary = summarize("x", [1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.ci95 > 0
+
+    def test_nan_samples_dropped(self):
+        summary = summarize("x", [1.0, float("nan"), 3.0])
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_all_nan(self):
+        summary = summarize("x", [float("nan")])
+        assert math.isnan(summary.mean)
+
+    def test_single_sample_no_ci(self):
+        summary = summarize("x", [5.0])
+        assert summary.mean == 5.0
+        assert math.isnan(summary.ci95)
+
+    def test_str(self):
+        assert "n=2" in str(summarize("m", [1.0, 2.0]))
+
+
+class TestRunReplications:
+    @pytest.fixture(scope="class")
+    def report(self):
+        cfg = SimConfig.lte_default(num_ues=3, load=0.5, seed=1)
+        return run_replications(cfg, "outran", replications=3, duration_s=1.0)
+
+    def test_all_default_metrics_present(self, report):
+        for name in (
+            "avg_fct_ms",
+            "short_avg_fct_ms",
+            "spectral_efficiency",
+            "fairness",
+        ):
+            assert name in report.metrics
+
+    def test_samples_per_metric(self, report):
+        assert len(report["avg_fct_ms"].samples) == 3
+
+    def test_seeds_differ(self, report):
+        samples = report["avg_fct_ms"].samples
+        assert len(set(samples)) > 1
+
+    def test_scheduler_name_resolved(self, report):
+        assert "outran" in report.scheduler_name
+
+    def test_str_summary(self, report):
+        text = str(report)
+        assert "3 replications" in text
+
+    def test_instance_rejected(self):
+        cfg = SimConfig.lte_default(num_ues=2, seed=1)
+        with pytest.raises(TypeError):
+            run_replications(cfg, OutranScheduler(), replications=2)
+
+    def test_zero_replications_rejected(self):
+        cfg = SimConfig.lte_default(num_ues=2, seed=1)
+        with pytest.raises(ValueError):
+            run_replications(cfg, "pf", replications=0)
+
+    def test_custom_metrics(self):
+        cfg = SimConfig.lte_default(num_ues=2, load=0.4, seed=3)
+        report = run_replications(
+            cfg, "pf", replications=2, duration_s=0.8,
+            metrics={"flows": lambda r: float(r.completed_flows)},
+        )
+        assert report["flows"].mean > 0

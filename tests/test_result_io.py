@@ -1,0 +1,79 @@
+"""Tests for result serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro import CellSimulation, SimConfig
+from repro.analysis.io import (
+    SCHEMA_VERSION,
+    StoredResult,
+    load_results,
+    result_to_dict,
+    save_results,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = SimConfig.lte_default(num_ues=3, load=0.5, seed=4)
+    return CellSimulation(cfg, "outran").run(duration_s=1.0)
+
+
+class TestResultToDict:
+    def test_contains_core_fields(self, result):
+        data = result_to_dict(result)
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["completed_flows"] == result.completed_flows
+        assert data["fct"]["all"]["count"] == result.completed_flows
+
+    def test_bucket_stats_match(self, result):
+        data = result_to_dict(result)
+        assert data["fct"]["S"]["mean_ms"] == pytest.approx(
+            result.avg_fct_ms("S")
+        )
+
+    def test_json_serializable(self, result):
+        json.dumps(result_to_dict(result))
+
+    def test_empty_bucket_is_none(self, result):
+        data = result_to_dict(result)
+        for bucket in ("S", "M", "L"):
+            entry = data["fct"][bucket]
+            if entry["count"] == 0:
+                assert entry["mean_ms"] is None
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, result, tmp_path):
+        path = tmp_path / "runs.json"
+        save_results(path, [result], extra={"experiment": "unit"})
+        meta, stored = load_results(path)
+        assert meta["experiment"] == "unit"
+        assert len(stored) == 1
+        view = stored[0]
+        assert view.scheduler == result.scheduler_name
+        assert view.avg_fct_ms() == pytest.approx(result.avg_fct_ms())
+        assert view.pctl_fct_ms(95) == pytest.approx(result.pctl_fct_ms(95))
+        assert view.mean_se() == pytest.approx(result.mean_se())
+
+    def test_nan_for_missing_bucket(self, tmp_path):
+        stored = StoredResult(
+            {
+                "scheduler": "pf",
+                "completed_flows": 0,
+                "spectral_efficiency": 1.0,
+                "fairness": 1.0,
+                "fct": {"L": {"count": 0, "mean_ms": None,
+                              "percentiles_ms": {"95": None}}},
+            }
+        )
+        assert math.isnan(stored.avg_fct_ms("L"))
+        assert math.isnan(stored.pctl_fct_ms(95, "L"))
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "results": []}))
+        with pytest.raises(ValueError):
+            load_results(path)

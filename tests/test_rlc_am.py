@@ -1,0 +1,202 @@
+"""Tests for the RLC AM entities (retransmission machinery)."""
+
+import pytest
+
+from repro.core.mlfq import MlfqConfig
+from repro.net.packet import FiveTuple, Packet
+from repro.rlc.am import (
+    AmReceiver,
+    AmStatus,
+    AmTransmitter,
+    MAX_RETX,
+    STATUS_PDU_BYTES,
+)
+from repro.rlc.pdu import RlcPdu
+
+FT = FiveTuple(1, 2, 443, 2000)
+
+
+def make_packet(payload=1000, flow_id=0):
+    return Packet(FT, flow_id, seq=0, payload_bytes=payload)
+
+
+def drain(tx, grant=100_000, now=0):
+    return tx.build_transmissions(grant, now)
+
+
+class TestSequenceNumbers:
+    def test_pdus_get_increasing_sns(self):
+        tx = AmTransmitter(0)
+        sns = []
+        for i in range(3):
+            tx.write_sdu(make_packet(), 0, i)
+            items = drain(tx, now=i)
+            sns.extend(p.sn for p in items if isinstance(p, RlcPdu))
+        assert sns == [0, 1, 2]
+
+    def test_unacked_tracked(self):
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        drain(tx)
+        assert tx.unacked_count == 1
+
+
+class TestQueuePriorities:
+    def test_ctrl_served_before_data(self):
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        tx.queue_control(AmStatus(ack_sn=5))
+        items = drain(tx)
+        assert isinstance(items[0], AmStatus)
+        assert isinstance(items[1], RlcPdu)
+
+    def test_retx_served_before_new_data(self):
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        drain(tx)  # sn 0 out
+        tx.receive_status(AmStatus(ack_sn=1, nacks=(0,)), 100)
+        tx.write_sdu(make_packet(flow_id=9), 0, 100)
+        items = drain(tx, now=100)
+        assert isinstance(items[0], RlcPdu) and items[0].is_retx
+        assert items[0].sn == 0
+        assert items[1].sn == 1  # new data afterwards
+
+    def test_retx_deferred_when_grant_too_small(self):
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(5000), 0, 0)
+        drain(tx)
+        tx.receive_status(AmStatus(ack_sn=1, nacks=(0,)), 100)
+        items = tx.build_transmissions(200, 100)
+        assert items == []  # retx PDU does not fit, nothing else to send
+
+
+class TestStatusProcessing:
+    def test_cumulative_ack_clears_unacked(self):
+        tx = AmTransmitter(0)
+        for i in range(3):
+            tx.write_sdu(make_packet(), 0, i)
+            drain(tx, now=i)
+        tx.receive_status(AmStatus(ack_sn=3), 10)
+        assert tx.unacked_count == 0
+
+    def test_nack_schedules_retx_once(self):
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        drain(tx)
+        tx.receive_status(AmStatus(ack_sn=1, nacks=(0,)), 10)
+        tx.receive_status(AmStatus(ack_sn=1, nacks=(0,)), 30_000)
+        items = drain(tx, now=40_000)
+        retx = [p for p in items if isinstance(p, RlcPdu) and p.is_retx]
+        assert len(retx) == 1
+        assert tx.retx_transmissions == 1
+
+    def test_abandon_after_max_retx(self):
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        drain(tx)
+        for i in range(MAX_RETX + 1):
+            tx.receive_status(AmStatus(ack_sn=1, nacks=(0,)), i)
+            drain(tx, now=i)
+        assert tx.pdus_abandoned == 1
+        assert tx.unacked_count == 0
+
+
+class TestPollTimer:
+    def test_unanswered_poll_triggers_spurious_retx(self):
+        tx = AmTransmitter(0, poll_pdu=1, t_poll_retransmit_us=10_000)
+        tx.write_sdu(make_packet(), 0, 0)
+        drain(tx, now=0)  # poll outstanding from now
+        items = drain(tx, now=20_000)  # timer expired
+        retx = [p for p in items if isinstance(p, RlcPdu) and p.is_retx]
+        assert len(retx) == 1
+        assert tx.spurious_retx == 1
+
+    def test_status_cancels_poll_timer(self):
+        tx = AmTransmitter(0, poll_pdu=1, t_poll_retransmit_us=10_000)
+        tx.write_sdu(make_packet(), 0, 0)
+        drain(tx, now=0)
+        tx.receive_status(AmStatus(ack_sn=1), 5_000)
+        items = drain(tx, now=20_000)
+        assert tx.spurious_retx == 0
+        assert items == []
+
+
+class TestBufferStatus:
+    def test_reports_retx_and_ctrl_bytes(self):
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        drain(tx)
+        tx.receive_status(AmStatus(ack_sn=1, nacks=(0,)), 10)
+        tx.queue_control(AmStatus(ack_sn=0))
+        bsr = tx.buffer_status(20)
+        assert bsr.retx_bytes > 0
+        assert bsr.ctrl_bytes == STATUS_PDU_BYTES
+        assert bsr.has_data
+
+    def test_mlfq_priority_passthrough(self):
+        config = MlfqConfig(num_queues=2, thresholds=(100,))
+        tx = AmTransmitter(0, mlfq_config=config)
+        tx.write_sdu(make_packet(), level=1, now_us=0)
+        assert tx.buffer_status(0).head_level == 1
+
+
+class TestAmReceiver:
+    def _wire(self, **kwargs):
+        delivered = []
+        rx = AmReceiver(deliver=lambda sdu, now: delivered.append(sdu), **kwargs)
+        return rx, delivered
+
+    def test_delivers_complete_sdus(self):
+        rx, delivered = self._wire()
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        for item in drain(tx):
+            rx.receive_pdu(item, 10)
+        assert len(delivered) == 1
+
+    def test_gap_produces_nack(self):
+        rx, _ = self._wire(t_status_prohibit_us=0)
+        tx = AmTransmitter(0)
+        pdus = []
+        for i in range(3):
+            tx.write_sdu(make_packet(), 0, i)
+            pdus.extend(p for p in drain(tx, now=i) if isinstance(p, RlcPdu))
+        rx.receive_pdu(pdus[0], 10)
+        status = rx.receive_pdu(pdus[2], 20)  # sn 1 lost
+        assert status is not None
+        assert 1 in status.nacks
+        assert status.ack_sn == 3
+
+    def test_status_prohibit_suppresses_back_to_back_status(self):
+        rx, _ = self._wire(t_status_prohibit_us=50_000)
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        tx.write_sdu(make_packet(), 0, 0)
+        pdus = [p for p in drain(tx) if isinstance(p, RlcPdu)]
+        assert rx.receive_pdu(pdus[0], 10) is not None
+        assert rx.receive_pdu(pdus[0], 20) is None  # prohibited
+
+    def test_duplicate_retx_not_delivered_twice(self):
+        rx, delivered = self._wire(t_status_prohibit_us=0)
+        tx = AmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        pdu = [p for p in drain(tx) if isinstance(p, RlcPdu)][0]
+        rx.receive_pdu(pdu, 10)
+        rx.receive_pdu(pdu, 20)
+        assert len(delivered) == 1
+
+    def test_end_to_end_loss_recovery(self):
+        """Lost PDU is NACKed, retransmitted, and finally delivered."""
+        rx, delivered = self._wire(t_status_prohibit_us=0)
+        tx = AmTransmitter(0)
+        pdus = []
+        for i in range(2):
+            tx.write_sdu(make_packet(flow_id=i), 0, i)
+            pdus.extend(p for p in drain(tx, now=i) if isinstance(p, RlcPdu))
+        # First PDU lost on the air; second arrives and reports the gap.
+        status = rx.receive_pdu(pdus[1], 10)
+        tx.receive_status(status, 20)
+        retx = [p for p in drain(tx, now=30) if isinstance(p, RlcPdu)]
+        assert retx and retx[0].is_retx
+        rx.receive_pdu(retx[0], 40)
+        assert len(delivered) == 2

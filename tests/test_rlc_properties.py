@@ -1,0 +1,108 @@
+"""Property-based tests for RLC invariants under random schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mlfq import MlfqConfig
+from repro.net.packet import FiveTuple, Packet
+from repro.rlc.am import AmReceiver, AmTransmitter
+from repro.rlc.pdu import RLC_HEADER_BYTES, RlcPdu
+from repro.rlc.um import UmReceiver, UmTransmitter
+
+FT = FiveTuple(3, 4, 443, 7777)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    payloads=st.lists(st.integers(40, 3000), min_size=1, max_size=25),
+    grants=st.lists(st.integers(50, 4000), min_size=1, max_size=60),
+    levels=st.data(),
+)
+def test_property_um_byte_conservation(payloads, grants, levels):
+    """Every enqueued byte is either still queued or left in a PDU; no
+    byte is created or destroyed by segmentation/concatenation."""
+    tx = UmTransmitter(0, mlfq_config=MlfqConfig(), capacity_sdus=1000)
+    total_in = 0
+    for i, payload in enumerate(payloads):
+        level = levels.draw(st.integers(0, 3))
+        sdu = tx.write_sdu(Packet(FT, i, 0, payload), level, now_us=0)
+        assert sdu is not None
+        total_in += sdu.size
+    total_out = 0
+    for t, grant in enumerate(grants):
+        pdu = tx.build_pdu(grant, now_us=t)
+        if pdu is None:
+            continue
+        assert pdu.wire_bytes <= grant
+        total_out += pdu.payload_bytes
+    assert total_out + tx.buffered_bytes == total_in
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    payloads=st.lists(st.integers(40, 2500), min_size=1, max_size=15),
+    grants=st.lists(st.integers(200, 5000), min_size=5, max_size=40),
+)
+def test_property_um_lossless_channel_delivers_everything(payloads, grants):
+    """Over a lossless channel, the receiver reassembles every SDU whose
+    bytes fully left the transmitter, in spite of arbitrary grant sizes."""
+    delivered = []
+    rx = UmReceiver(deliver=lambda sdu, now: delivered.append(sdu.packet.flow_id),
+                    reassembly_window_us=10**12)
+    tx = UmTransmitter(0, capacity_sdus=1000)
+    for i, payload in enumerate(payloads):
+        tx.write_sdu(Packet(FT, i, 0, payload), 0, 0)
+    for t, grant in enumerate(grants):
+        pdu = tx.build_pdu(grant, now_us=t)
+        if pdu is not None:
+            rx.receive_pdu(pdu, now_us=t)
+    # Drain whatever is left with generous grants.
+    t = len(grants)
+    while tx.buffered_bytes:
+        pdu = tx.build_pdu(10_000, now_us=t)
+        assert pdu is not None
+        rx.receive_pdu(pdu, now_us=t)
+        t += 1
+    assert sorted(delivered) == list(range(len(payloads)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    loss=st.floats(0.0, 0.6),
+    num_sdus=st.integers(1, 12),
+)
+def test_property_am_delivers_despite_losses(seed, loss, num_sdus):
+    """AM delivers every SDU exactly once under random PDU loss -- unless
+    the entity legitimately abandons a PDU after MAX_RETX consecutive
+    losses (possible at the high end of the loss range), in which case
+    the delivered set may be short but never contains duplicates."""
+    rng = np.random.default_rng(seed)
+    delivered = []
+    rx = AmReceiver(
+        deliver=lambda sdu, now: delivered.append(sdu.packet.flow_id),
+        t_status_prohibit_us=0,
+    )
+    tx = AmTransmitter(0, poll_pdu=1, t_poll_retransmit_us=5_000)
+    for i in range(num_sdus):
+        tx.write_sdu(Packet(FT, i, 0, 800), 0, now_us=0)
+    now = 0
+    for _ in range(400):
+        now += 1_000
+        for item in tx.build_transmissions(20_000, now):
+            if not isinstance(item, RlcPdu):
+                continue
+            if rng.random() < loss:
+                continue  # lost on the air
+            status = rx.receive_pdu(item, now)
+            if status is not None:
+                tx.receive_status(status, now)
+        if len(delivered) == num_sdus and tx.unacked_count == 0:
+            break
+    # Never a duplicate delivery, whatever the loss pattern.
+    assert len(delivered) == len(set(delivered))
+    if tx.pdus_abandoned == 0:
+        assert sorted(delivered) == list(range(num_sdus))
+    else:
+        assert set(delivered) <= set(range(num_sdus))

@@ -1,0 +1,85 @@
+"""Tests for RLC Transparent Mode."""
+
+import pytest
+
+from repro import CellSimulation, SimConfig
+from repro.net.packet import FiveTuple, Packet
+from repro.rlc.tm import TmReceiver, TmTransmitter
+
+FT = FiveTuple(5, 6, 443, 8888)
+
+
+def make_packet(payload=1000, flow_id=0):
+    return Packet(FT, flow_id, 0, payload)
+
+
+class TestTmTransmitter:
+    def test_whole_sdus_only(self):
+        tx = TmTransmitter(0)
+        tx.write_sdu(make_packet(2000), 0, 0)
+        assert tx.build_pdu(500, 0) is None  # cannot segment
+        pdu = tx.build_pdu(5_000, 0)
+        assert len(pdu.segments) == 1
+        assert pdu.segments[0].is_first and pdu.segments[0].is_last
+
+    def test_no_header_overhead(self):
+        tx = TmTransmitter(0)
+        tx.write_sdu(make_packet(1000), 0, 0)
+        pdu = tx.build_pdu(5_000, 0)
+        assert pdu.wire_bytes == pdu.payload_bytes == 1040
+
+    def test_fifo_order(self):
+        tx = TmTransmitter(0)
+        tx.write_sdu(make_packet(100, flow_id=1), 3, 0)  # level ignored
+        tx.write_sdu(make_packet(100, flow_id=2), 0, 0)
+        pdu = tx.build_pdu(5_000, 0)
+        assert [seg.sdu.packet.flow_id for seg in pdu.segments] == [1, 2]
+
+    def test_overflow_drops_incoming(self):
+        tx = TmTransmitter(0, capacity_sdus=1)
+        assert tx.write_sdu(make_packet(), 0, 0) is not None
+        assert tx.write_sdu(make_packet(), 0, 0) is None
+        assert tx.sdus_dropped == 1
+
+    def test_buffer_status(self):
+        tx = TmTransmitter(0)
+        tx.write_sdu(make_packet(500), 0, now_us=100)
+        bsr = tx.buffer_status(now_us=600)
+        assert bsr.total_bytes == 540
+        assert bsr.head_level == 0
+        assert bsr.hol_delay_us == 500
+
+    def test_head_sdu_blocks_queue(self):
+        """A big head SDU blocks smaller ones behind it (strict FIFO)."""
+        tx = TmTransmitter(0)
+        tx.write_sdu(make_packet(3000), 0, 0)
+        tx.write_sdu(make_packet(100), 0, 0)
+        pdu = tx.build_pdu(500, 0)
+        assert pdu is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TmTransmitter(0, capacity_sdus=0)
+
+
+class TestTmReceiver:
+    def test_delivery(self):
+        delivered = []
+        rx = TmReceiver(deliver=lambda sdu, now: delivered.append(sdu))
+        tx = TmTransmitter(0)
+        tx.write_sdu(make_packet(), 0, 0)
+        rx.receive_pdu(tx.build_pdu(5_000, 0), 10)
+        assert len(delivered) == 1
+        assert rx.sdus_delivered == 1
+
+
+class TestTmInSimulation:
+    def test_tm_mode_end_to_end(self):
+        cfg = SimConfig.lte_default(num_ues=3, load=0.4, seed=2, rlc_mode="tm")
+        res = CellSimulation(cfg, "pf").run(duration_s=1.0)
+        assert res.completed_flows > 0
+        assert res.decipher_failures == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig.lte_default(num_ues=2, rlc_mode="xx")

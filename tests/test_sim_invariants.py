@@ -1,0 +1,103 @@
+"""Cross-cutting invariants of full simulation runs.
+
+Property-style tests over small random configurations: whatever the
+scheduler, load, or RLC mode, physical and accounting invariants must
+hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CellSimulation, SimConfig
+from repro.phy.cqi import TABLE_256QAM
+
+MAX_EFFICIENCY = TABLE_256QAM[15].efficiency
+
+SCHEDULERS = ("pf", "mt", "rr", "srjf", "pss", "cqa", "outran", "mlfq_strict")
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 50),
+    scheduler=st.sampled_from(SCHEDULERS),
+    load=st.sampled_from((0.3, 0.7, 1.0)),
+    rlc_mode=st.sampled_from(("um", "am")),
+)
+def test_property_run_invariants(seed, scheduler, load, rlc_mode):
+    cfg = SimConfig.lte_default(
+        num_ues=4, load=load, seed=seed, rlc_mode=rlc_mode
+    )
+    sim = CellSimulation(cfg, scheduler=scheduler)
+    res = sim.run(duration_s=1.2)
+
+    # Time sanity: every completion happens after its start, and no FCT
+    # beats the one-way wired+air floor.
+    floor_ms = (cfg.server_delay_us + cfg.air_delay_us) / 1e3
+    for record in res.records:
+        assert record.end_us > record.start_us
+        assert record.fct_ms >= floor_ms - 1e-6
+
+    # Spectral efficiency cannot exceed the top MCS.
+    if res.se_series().size:
+        assert res.se_series().max() <= MAX_EFFICIENCY + 1e-9
+
+    # Fairness is a Jain index.
+    if res.fairness_series().size:
+        assert 0.0 < res.fairness_series().min() <= 1.0 + 1e-9
+        assert res.fairness_series().max() <= 1.0 + 1e-9
+
+    # Flow accounting: completions never exceed starts.
+    assert 0 <= res.completed_flows <= sim.metrics.flows_started
+
+    # Each completed flow received exactly its size.
+    for flow_id, runtime in sim._runtimes.items():
+        if runtime.receiver.complete:
+            assert runtime.receiver.bytes_received >= runtime.spec.size_bytes
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 30))
+def test_property_identical_workload_across_schedulers(seed):
+    """Same config + seed => every scheduler faces identical arrivals."""
+    specs = {}
+    for scheduler in ("pf", "outran"):
+        cfg = SimConfig.lte_default(num_ues=4, load=0.5, seed=seed)
+        sim = CellSimulation(cfg, scheduler=scheduler)
+        flows = sim._make_flows(2.0)
+        specs[scheduler] = [(f.ue_index, f.size_bytes, f.start_us) for f in flows]
+    assert specs["pf"] == specs["outran"]
+
+
+def test_delivered_bytes_bounded_by_offered():
+    cfg = SimConfig.lte_default(num_ues=4, load=0.8, seed=2)
+    sim = CellSimulation(cfg, scheduler="pf")
+    res = sim.run(duration_s=2.0)
+    offered_wire = sum(
+        size + (size // 1400 + 1) * 43  # generous header allowance
+        for size in sim._flow_sizes.values()
+    )
+    # Bits on the air can exceed goodput (headers, retx) but not by much
+    # in a loss-free UM run.
+    assert res._c.total_bits / 8 <= offered_wire * 1.2
+
+
+def test_conservation_all_flows_complete_under_light_load():
+    cfg = SimConfig.lte_default(num_ues=4, load=0.2, seed=5)
+    sim = CellSimulation(cfg, scheduler="outran")
+    res = sim.run(duration_s=3.0, drain_s=4.0)
+    assert res.censored_flows <= 1  # at most a tail-end arrival
+
+
+def test_higher_load_does_not_reduce_traffic():
+    low = CellSimulation(
+        SimConfig.lte_default(num_ues=6, load=0.3, seed=3), "pf"
+    )
+    high = CellSimulation(
+        SimConfig.lte_default(num_ues=6, load=0.9, seed=3), "pf"
+    )
+    low_flows = low._make_flows(5.0)
+    high_flows = high._make_flows(5.0)
+    assert sum(f.size_bytes for f in high_flows) > sum(
+        f.size_bytes for f in low_flows
+    )

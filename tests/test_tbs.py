@@ -1,0 +1,124 @@
+"""Tests for transport-block sizing / link adaptation policies."""
+
+import numpy as np
+import pytest
+
+from repro import CellSimulation, SimConfig
+from repro.phy.cqi import CqiTable
+from repro.phy.tbs import CRC_BITS, transport_block_bits
+
+
+@pytest.fixture
+def table():
+    return CqiTable()
+
+
+RE_PER_RB = 144.0
+
+
+def vectors(cqis):
+    table = CqiTable()
+    cqi = np.asarray(cqis)
+    rates = table.efficiencies(cqi) * RE_PER_RB
+    return rates, cqi
+
+
+class TestPolicies:
+    def test_per_rb_sums_rates(self, table):
+        rates, cqi = vectors([15, 15, 15])
+        bits = transport_block_bits(
+            "per_rb", rates, cqi, np.arange(3), table, RE_PER_RB
+        )
+        assert bits == ((int(rates.sum()) - CRC_BITS) // 8) * 8
+
+    def test_worst_rb_limits_block(self, table):
+        rates, cqi = vectors([15, 3, 15])
+        worst = transport_block_bits(
+            "worst_rb", rates, cqi, np.arange(3), table, RE_PER_RB
+        )
+        ideal = transport_block_bits(
+            "per_rb", rates, cqi, np.arange(3), table, RE_PER_RB
+        )
+        assert worst < ideal
+        # Worst-CQI MCS applied to every RB.
+        expected = int(table.efficiency(3) * RE_PER_RB * 3) - CRC_BITS
+        assert worst == (expected // 8) * 8
+
+    def test_mean_rb_between_worst_and_ideal(self, table):
+        rates, cqi = vectors([15, 3, 15])
+        worst = transport_block_bits("worst_rb", rates, cqi, np.arange(3), table, RE_PER_RB)
+        mean = transport_block_bits("mean_rb", rates, cqi, np.arange(3), table, RE_PER_RB)
+        ideal = transport_block_bits("per_rb", rates, cqi, np.arange(3), table, RE_PER_RB)
+        assert worst <= mean <= ideal
+
+    def test_zero_cqi_gives_zero_bits(self, table):
+        rates, cqi = vectors([0, 0])
+        assert transport_block_bits(
+            "worst_rb", rates, cqi, np.arange(2), table, RE_PER_RB
+        ) == 0
+
+    def test_empty_allocation(self, table):
+        rates, cqi = vectors([15])
+        assert transport_block_bits(
+            "per_rb", rates, cqi, np.arange(0), table, RE_PER_RB
+        ) == 0
+
+    def test_byte_quantization(self, table):
+        rates, cqi = vectors([7, 7])
+        bits = transport_block_bits(
+            "mean_rb", rates, cqi, np.arange(2), table, RE_PER_RB
+        )
+        assert bits % 8 == 0
+
+    def test_unknown_policy(self, table):
+        rates, cqi = vectors([7])
+        with pytest.raises(ValueError):
+            transport_block_bits("olla", rates, cqi, np.arange(1), table, RE_PER_RB)
+
+
+class TestInSimulation:
+    def test_conservative_link_adaptation_runs(self):
+        cfg = SimConfig.lte_default(num_ues=4, load=0.5, seed=6,
+                                    link_adaptation="worst_rb")
+        res = CellSimulation(cfg, scheduler="outran").run(duration_s=1.2)
+        assert res.completed_flows > 0
+
+    def test_conservative_mode_carries_less(self):
+        def run(policy):
+            cfg = SimConfig.lte_default(
+                num_ues=4, load=2.0, seed=6, link_adaptation=policy
+            )
+            res = CellSimulation(cfg, scheduler="pf").run(
+                duration_s=1.5, drain_s=0.0
+            )
+            return res._c.total_bits
+
+        assert run("worst_rb") < run("per_rb")
+
+    def test_invalid_policy_rejected_in_config(self):
+        with pytest.raises(ValueError):
+            SimConfig.lte_default(num_ues=2, link_adaptation="olla")
+
+
+class TestBetScheduler:
+    def test_bet_equalizes_service(self):
+        from repro.mac.bsr import BufferStatusReport
+        from repro.mac.pf import BlindEqualThroughputScheduler
+        from repro.mac.scheduler import UeSchedState
+
+        bet = BlindEqualThroughputScheduler()
+        ues = []
+        for i in range(2):
+            ue = UeSchedState(i, i)
+            ue.bsr = BufferStatusReport(ue_id=i, total_bytes=1000)
+            ues.append(ue)
+        ues[0].ewma_bps = 1e7
+        ues[1].ewma_bps = 1e5
+        rates = np.array([[1000.0], [10.0]])  # channel-blind: 1 still wins
+        owner = bet.allocate(rates, ues, 0)
+        assert owner[0] == 1
+
+    def test_bet_available_via_factory(self):
+        cfg = SimConfig.lte_default(num_ues=3, load=0.4, seed=2)
+        res = CellSimulation(cfg, scheduler="bet").run(duration_s=1.0)
+        assert res.completed_flows > 0

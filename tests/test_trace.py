@@ -1,0 +1,86 @@
+"""Tests for the per-TTI scheduling trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro import CellSimulation, SimConfig
+from repro.sim.trace import SchedulingTrace
+
+
+class TestSchedulingTrace:
+    def test_record_and_views(self):
+        trace = SchedulingTrace(num_ues=2, num_rbs=4, chunk_ttis=2)
+        trace.record(
+            1000,
+            np.array([0, 0, 1, -1]),
+            np.array([100, 50]),
+            np.array([500, 200]),
+            np.array([0, 3], dtype=np.int8),
+        )
+        assert len(trace) == 1
+        assert trace.owners[0].tolist() == [0, 0, 1, -1]
+        assert trace.grants_bits[0].tolist() == [100, 50]
+        assert trace.head_levels[0].tolist() == [0, 3]
+
+    def test_growth_beyond_chunk(self):
+        trace = SchedulingTrace(num_ues=1, num_rbs=1, chunk_ttis=2)
+        for t in range(5):
+            trace.record(
+                t, np.array([0]), np.array([1]), np.array([1]), np.array([0])
+            )
+        assert len(trace) == 5
+        assert trace.times_us.tolist() == [0, 1, 2, 3, 4]
+
+    def test_rb_share_sums_to_one(self):
+        trace = SchedulingTrace(num_ues=2, num_rbs=2, chunk_ttis=4)
+        trace.record(0, np.array([0, 1]), np.zeros(2), np.zeros(2), np.zeros(2))
+        trace.record(1, np.array([0, 0]), np.zeros(2), np.zeros(2), np.zeros(2))
+        share = trace.rb_share()
+        assert share.sum() == pytest.approx(1.0)
+        assert share[0] == pytest.approx(0.75)
+
+    def test_utilization(self):
+        trace = SchedulingTrace(num_ues=1, num_rbs=2, chunk_ttis=4)
+        trace.record(0, np.array([0, -1]), np.zeros(1), np.zeros(1), np.zeros(1))
+        assert trace.utilization() == pytest.approx(0.5)
+
+    def test_empty_trace(self):
+        trace = SchedulingTrace(num_ues=2, num_rbs=2)
+        assert trace.utilization() == 0.0
+        assert trace.rb_share().tolist() == [0.0, 0.0]
+        assert trace.grant_latency_ttis(0).size == 0
+
+    def test_grant_latency(self):
+        trace = SchedulingTrace(num_ues=1, num_rbs=1, chunk_ttis=8)
+        for t, g in enumerate([1, 0, 0, 1, 1]):
+            trace.record(
+                t, np.array([0]), np.array([g]), np.zeros(1), np.zeros(1)
+            )
+        assert trace.grant_latency_ttis(0).tolist() == [3, 1]
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SchedulingTrace(num_ues=0, num_rbs=1)
+
+
+class TestTraceInSimulation:
+    def test_enable_trace_records_every_tti(self):
+        cfg = SimConfig.lte_default(num_ues=3, load=0.5, seed=8)
+        sim = CellSimulation(cfg, scheduler="outran")
+        trace = sim.enb.enable_trace()
+        sim.run(duration_s=0.5)
+        assert len(trace) == sim.enb.ttis_run
+        assert 0.0 <= trace.utilization() <= 1.0
+
+    def test_trace_shows_outran_levels(self):
+        cfg = SimConfig.lte_default(num_ues=3, load=0.8, seed=8)
+        sim = CellSimulation(cfg, scheduler="outran")
+        trace = sim.enb.enable_trace()
+        sim.run(duration_s=1.0)
+        # With MLFQ enabled, some backlogged TTIs report head levels >= 0.
+        assert (trace.head_levels >= 0).any()
+
+    def test_enable_trace_idempotent(self):
+        cfg = SimConfig.lte_default(num_ues=2, load=0.4, seed=8)
+        sim = CellSimulation(cfg, scheduler="pf")
+        assert sim.enb.enable_trace() is sim.enb.enable_trace()

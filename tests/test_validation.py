@@ -1,0 +1,98 @@
+"""Statistical validation of the stochastic substrates."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    ValidationReport,
+    validate_doppler_autocorrelation,
+    validate_poisson_arrivals,
+    validate_rayleigh_power,
+)
+from repro.phy.channel import _Ar1Fader, _JakesFader
+from repro.traffic.distributions import LTE_CELLULAR
+from repro.traffic.generator import PoissonTrafficGenerator
+
+
+class TestRayleighPower:
+    def test_ar1_fader_is_rayleigh(self):
+        rng = np.random.default_rng(0)
+        fader = _Ar1Fader(n_bands=8, doppler_hz=200.0, rng=rng)
+        # Sample far apart so draws are nearly independent.
+        gains = np.stack([fader.advance(0.5) for _ in range(3000)])
+        report = validate_rayleigh_power(gains)
+        assert report.passed, str(report)
+
+    def test_jakes_fader_is_rayleigh(self):
+        rng = np.random.default_rng(1)
+        fader = _JakesFader(n_bands=16, doppler_hz=50.0, rng=rng, n_osc=32)
+        times = np.arange(0.0, 400.0, 0.25)
+        gains = fader.gains(times)
+        report = validate_rayleigh_power(gains, alpha=0.001)
+        assert report.passed, str(report)
+
+    def test_uniform_noise_fails(self):
+        rng = np.random.default_rng(2)
+        report = validate_rayleigh_power(rng.uniform(0, 2, 5000))
+        assert not report.passed
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            validate_rayleigh_power(np.ones(10))
+
+
+class TestDopplerAutocorrelation:
+    def _series(self, doppler, dt, n=20_000, seed=3):
+        rng = np.random.default_rng(seed)
+        fader = _Ar1Fader(n_bands=1, doppler_hz=doppler, rng=rng)
+        out = np.empty(n, dtype=complex)
+        for i in range(n):
+            fader.advance(dt)
+            out[i] = fader._state[0]
+        return out
+
+    def test_ar1_tracks_j0(self):
+        doppler, dt = 30.0, 0.002
+        series = self._series(doppler, dt)
+        report = validate_doppler_autocorrelation(series, doppler, dt)
+        assert report.passed, str(report)
+
+    def test_fast_doppler_decorrelates(self):
+        doppler, dt = 400.0, 0.005  # J0 argument > first zero
+        series = self._series(doppler, dt)
+        report = validate_doppler_autocorrelation(
+            series, doppler, dt, tolerance=0.2
+        )
+        assert report.passed, str(report)
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            validate_doppler_autocorrelation(np.ones(10, complex), 10, 0.01)
+
+
+class TestPoissonArrivals:
+    def test_generator_is_poisson(self):
+        gen = PoissonTrafficGenerator(
+            LTE_CELLULAR, num_ues=10, load=0.6, capacity_bps=50e6, seed=5
+        )
+        flows = gen.generate(60.0)
+        times = np.array([f.start_us / 1e6 for f in flows])
+        report = validate_poisson_arrivals(times, gen.arrival_rate_per_s)
+        assert report.passed, str(report)
+
+    def test_regular_arrivals_fail(self):
+        times = np.arange(0, 100, 0.5)
+        report = validate_poisson_arrivals(times, 2.0)
+        assert not report.passed
+
+    def test_too_few_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            validate_poisson_arrivals(np.arange(5.0), 1.0)
+
+
+class TestReport:
+    def test_str_contains_verdict(self):
+        report = ValidationReport("x", 1.0, 1.0, 0.1, True)
+        assert "PASS" in str(report)
+        report = ValidationReport("x", 0.0, 1.0, 0.1, False)
+        assert "FAIL" in str(report)

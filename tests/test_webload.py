@@ -1,0 +1,103 @@
+"""Tests for the webpage-load driver (PLT measurement)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import CellSimulation, SimConfig
+from repro.sim.webload import PAGE_FLOW_ID_BASE, PageLoadSession, measure_plt
+from repro.traffic.generator import FlowSpec
+from repro.traffic.webpage import PAGES_BY_NAME, Webpage
+
+
+def make_sim(num_ues=2, seed=3):
+    cfg = SimConfig.lte_default(num_ues=num_ues, seed=seed)
+    return CellSimulation(cfg, scheduler="outran", flows=[])
+
+
+class TestPageLoadSession:
+    def test_unloaded_page_completes(self):
+        sim = make_sim()
+        page = PAGES_BY_NAME["wikipedia.org"]
+        session = PageLoadSession(
+            sim, page, ue_index=0, start_us=100_000,
+            rng=np.random.default_rng(0), flow_id_base=PAGE_FLOW_ID_BASE,
+        )
+        sim.run(duration_s=6.0)
+        assert session.complete
+        assert session.plt_ms > page.render_ms
+
+    def test_plt_includes_render_time(self):
+        sim = make_sim()
+        page = PAGES_BY_NAME["wikipedia.org"]
+        session = PageLoadSession(
+            sim, page, 0, 100_000, np.random.default_rng(0), PAGE_FLOW_ID_BASE
+        )
+        sim.run(duration_s=6.0)
+        network_ms = (session.network_done_us - session.start_us) / 1e3
+        assert session.plt_ms == pytest.approx(network_ms + page.render_ms)
+
+    def test_waves_are_sequential(self):
+        """No wave-2 flow may start before wave 1 finishes."""
+        sim = make_sim()
+        page = Webpage("t.example", page_bytes=300_000, num_flows=9, waves=3)
+        session = PageLoadSession(
+            sim, page, 0, 50_000, np.random.default_rng(1), PAGE_FLOW_ID_BASE
+        )
+        sim.run(duration_s=6.0)
+        assert session.complete
+        runtimes = [
+            sim._runtimes[PAGE_FLOW_ID_BASE + i] for i in range(page.num_flows)
+        ]
+        # Flow 0 is the root; flows of later waves start strictly later.
+        root_done = runtimes[0].receiver.completed_us
+        for rt in runtimes[1:]:
+            assert rt.start_us >= root_done
+
+    def test_incomplete_page_reports_nan(self):
+        sim = make_sim()
+        page = PAGES_BY_NAME["netflix.com"]
+        session = PageLoadSession(
+            sim, page, 0, 100_000, np.random.default_rng(0), PAGE_FLOW_ID_BASE
+        )
+        sim.run(duration_s=0.15, drain_s=0.0)  # far too short
+        assert not session.complete
+        assert math.isnan(session.plt_ms)
+
+
+class TestMeasurePlt:
+    def test_returns_requested_loads(self):
+        plts = measure_plt(
+            "outran", PAGES_BY_NAME["wikipedia.org"],
+            num_loads=2, interval_s=4.0, background_load=0.3, seed=1,
+        )
+        assert len(plts) == 2
+        assert all(p > 0 for p in plts)
+
+    def test_deterministic(self):
+        args = dict(num_loads=1, interval_s=4.0, background_load=0.3, seed=5)
+        a = measure_plt("pf", PAGES_BY_NAME["wikipedia.org"], **args)
+        b = measure_plt("pf", PAGES_BY_NAME["wikipedia.org"], **args)
+        assert a == b
+
+
+class TestDynamicStartFlow:
+    def test_duplicate_flow_id_rejected(self):
+        sim = make_sim()
+        spec = FlowSpec(flow_id=5, ue_index=0, size_bytes=1000, start_us=0)
+        sim.engine.schedule_at(0, lambda: sim.start_flow(spec))
+        sim.engine.run_until(1)
+        with pytest.raises(ValueError):
+            sim.start_flow(spec)
+
+    def test_completion_hook_fires(self):
+        sim = make_sim()
+        done = []
+        spec = FlowSpec(flow_id=5, ue_index=0, size_bytes=1000, start_us=0)
+        sim.engine.schedule_at(
+            1000, lambda: sim.start_flow(spec, on_complete=done.append)
+        )
+        sim.run(duration_s=1.0)
+        assert len(done) == 1
+        assert done[0] > 1000
