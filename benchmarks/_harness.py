@@ -10,18 +10,29 @@ runs) so the whole suite finishes in tens of minutes.  Set
 ``REPRO_BENCH_FULL=1`` for paper-scale runs.
 
 Simulations are memoized per process: several figures share the same
-(scheduler, load) sweep, so e.g. Figure 15 and Figure 16 reuse runs.
+(scheduler, load) sweep, so e.g. Figure 15 and Figure 16 reuse runs.  The
+memo is an LRU bounded by ``CACHE_CAP`` entries (override with
+``REPRO_BENCH_CACHE``) so a full-mode suite run does not accumulate every
+``SimResult`` for the whole process lifetime.
+
+Every run is instrumented with the shared telemetry registry and phase
+profiler; ``record()`` writes a ``<name>.<mode>.telemetry.json`` next to
+each figure's text output so the perf trajectory can be grounded in
+phase timings (telemetry never changes simulation results -- the test
+suite asserts this).
 """
 
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
 from repro import CellSimulation, SimConfig
 from repro.sim.config import TrafficSpec
 from repro.sim.metrics import SimResult
+from repro.telemetry import Profiler, TelemetryRegistry, snapshot_to_json
 
 QUICK = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
 
@@ -34,7 +45,30 @@ NR_UES = 16 if QUICK else 40
 NR_DURATION_S = 4.0 if QUICK else 12.0
 DEFAULT_SEED = 42
 
-_cache: dict = {}
+#: Most figure groups reuse at most a handful of sweeps; two dozen cached
+#: results comfortably covers the sharing while bounding process memory.
+CACHE_CAP = int(os.environ.get("REPRO_BENCH_CACHE", "24"))
+
+_cache: "OrderedDict[tuple, SimResult]" = OrderedDict()
+
+#: Shared across every harness run so the suite's telemetry pools.
+TELEMETRY = TelemetryRegistry()
+PROFILER = Profiler()
+
+
+def _cache_get(key: tuple) -> Optional[SimResult]:
+    result = _cache.get(key)
+    if result is not None:
+        _cache.move_to_end(key)
+    return result
+
+
+def _cache_put(key: tuple, result: SimResult) -> SimResult:
+    _cache[key] = result
+    _cache.move_to_end(key)
+    while len(_cache) > CACHE_CAP:
+        _cache.popitem(last=False)
+    return result
 
 
 def scale(quick_value, full_value):
@@ -54,10 +88,12 @@ def run_lte(
     num_ues = num_ues if num_ues is not None else LTE_UES
     duration_s = duration_s if duration_s is not None else LTE_DURATION_S
     key = ("lte", scheduler, load, num_ues, duration_s, seed, tuple(sorted(overrides.items())))
-    if key not in _cache:
-        cfg = SimConfig.lte_default(num_ues=num_ues, load=load, seed=seed, **overrides)
-        _cache[key] = CellSimulation(cfg, scheduler=scheduler).run(duration_s)
-    return _cache[key]
+    cached = _cache_get(key)
+    if cached is not None:
+        return cached
+    cfg = SimConfig.lte_default(num_ues=num_ues, load=load, seed=seed, **overrides)
+    sim = CellSimulation(cfg, scheduler=scheduler, telemetry=TELEMETRY, profiler=PROFILER)
+    return _cache_put(key, sim.run(duration_s))
 
 
 def run_nr(
@@ -74,19 +110,29 @@ def run_nr(
     num_ues = num_ues if num_ues is not None else NR_UES
     duration_s = duration_s if duration_s is not None else NR_DURATION_S
     key = ("nr", scheduler, mu, load, mec, num_ues, duration_s, seed, tuple(sorted(overrides.items())))
-    if key not in _cache:
-        cfg = SimConfig.nr_default(
-            mu=mu, num_ues=num_ues, load=load, seed=seed, mec=mec, **overrides
-        )
-        _cache[key] = CellSimulation(cfg, scheduler=scheduler).run(duration_s)
-    return _cache[key]
+    cached = _cache_get(key)
+    if cached is not None:
+        return cached
+    cfg = SimConfig.nr_default(
+        mu=mu, num_ues=num_ues, load=load, seed=seed, mec=mec, **overrides
+    )
+    sim = CellSimulation(cfg, scheduler=scheduler, telemetry=TELEMETRY, profiler=PROFILER)
+    return _cache_put(key, sim.run(duration_s))
 
 
 def record(name: str, text: str) -> str:
-    """Save a rendered figure table under results/ and return it."""
+    """Save a rendered figure table under results/ and return it.
+
+    Also dumps the telemetry accumulated so far (counters pooled across
+    every harness run this process has done, plus the phase-profile) as
+    ``<name>.<mode>.telemetry.json`` next to the text output.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     mode = "quick" if QUICK else "full"
     (RESULTS_DIR / f"{name}.{mode}.txt").write_text(text + "\n")
+    snapshot = TELEMETRY.snapshot()
+    snapshot["profile"] = PROFILER.report()
+    snapshot_to_json(snapshot, RESULTS_DIR / f"{name}.{mode}.telemetry.json")
     return text
 
 

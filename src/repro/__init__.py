@@ -30,6 +30,7 @@ from repro.mac.pf import (
 from repro.mac.srjf import SrjfScheduler
 from repro.mac.qos import CqaScheduler, PssScheduler
 from repro.sim.multicell import MultiCellSimulation, PooledResult
+from repro.telemetry import Profiler, TelemetryRegistry
 
 __version__ = "1.0.0"
 
@@ -48,4 +49,6 @@ __all__ = [
     "CqaScheduler",
     "MultiCellSimulation",
     "PooledResult",
+    "TelemetryRegistry",
+    "Profiler",
 ]

@@ -5,6 +5,8 @@ Examples::
     python -m repro --scheduler outran --load 0.9 --ues 40 --duration 8
     python -m repro --rat nr --mu 3 --mec --scheduler pf --json out.json
     python -m repro --compare pf outran srjf --load 0.9
+    python -m repro --scheduler outran --telemetry out.telemetry.json --profile
+    python -m repro --scheduler outran --trace trace.npz --heartbeat 1
 """
 
 from __future__ import annotations
@@ -12,12 +14,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.compare import comparison_table
 from repro.sim.cell import CellSimulation
 from repro.sim.config import SimConfig, TrafficSpec
 from repro.sim.metrics import SimResult
+from repro.telemetry import (
+    Profiler,
+    TelemetryRegistry,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,7 +65,55 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="PATH", help="also write a JSON summary to PATH"
     )
+    telemetry = parser.add_argument_group("observability")
+    telemetry.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help="collect per-layer telemetry; write the snapshot as JSON to "
+        "PATH (or stdout when PATH is omitted)",
+    )
+    telemetry.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        help="also export the telemetry snapshot in Prometheus text "
+        "format to PATH (implies telemetry collection)",
+    )
+    telemetry.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile wall-clock time per phase (schedule/rlc/phy/tcp/"
+        "bookkeeping) and print the breakdown",
+    )
+    telemetry.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record the per-TTI scheduling trace and save it as .npz",
+    )
+    telemetry.add_argument(
+        "--heartbeat",
+        type=_positive_float,
+        metavar="SECS",
+        help="print a run-health line to stderr every SECS of sim time",
+    )
     return parser
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive: {text}")
+    return value
+
+
+def _per_scheduler_path(base: str, scheduler: str, multi: bool) -> str:
+    """Insert the scheduler name before the suffix for --compare runs."""
+    if not multi:
+        return base
+    path = Path(base)
+    safe = scheduler.replace(":", "_").replace("/", "_")
+    return str(path.with_name(f"{path.stem}.{safe}{path.suffix}"))
 
 
 def config_from_args(args: argparse.Namespace) -> SimConfig:
@@ -97,19 +154,59 @@ def result_summary(result: SimResult) -> dict:
     }
 
 
+def _print_profile(result: SimResult, scheduler: str) -> None:
+    profile = (result.telemetry or {}).get("profile")
+    if not profile:
+        return
+    print(f"profile [{scheduler}]: total {profile['total_s']:.2f}s wall")
+    for phase, stats in profile["phases"].items():
+        print(
+            f"  {phase:>12}: {stats['seconds']:8.3f}s  "
+            f"({stats['entries']} entries)"
+        )
+    print(f"  {'other':>12}: {profile['other_s']:8.3f}s")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     schedulers = args.compare if args.compare else [args.scheduler]
+    collect = bool(args.telemetry or args.prometheus)
+    multi = len(schedulers) > 1
     summaries = []
     results = {}
     for name in schedulers:
         cfg = config_from_args(args)
-        sim = CellSimulation(cfg, scheduler=name)
+        sim = CellSimulation(
+            cfg,
+            scheduler=name,
+            telemetry=TelemetryRegistry() if collect else None,
+            profiler=Profiler() if args.profile else None,
+        )
+        if args.trace:
+            sim.enable_trace()
+        if args.heartbeat:
+            sim.attach_heartbeat(period_s=args.heartbeat, stream=sys.stderr)
         result = sim.run(duration_s=args.duration)
         results[name] = result
         summaries.append(result_summary(result))
         if not args.compare:
             print(result.fct_summary())
+        if args.trace:
+            sim.enb.trace.save_npz(_per_scheduler_path(args.trace, name, multi))
+        if args.telemetry and args.telemetry != "-":
+            snapshot_to_json(
+                result.telemetry,
+                _per_scheduler_path(args.telemetry, name, multi),
+            )
+        elif args.telemetry:
+            print(snapshot_to_json(result.telemetry))
+        if args.prometheus:
+            snapshot_to_prometheus(
+                result.telemetry,
+                _per_scheduler_path(args.prometheus, name, multi),
+            )
+        if args.profile:
+            _print_profile(result, name)
     if args.compare:
         print(
             comparison_table(

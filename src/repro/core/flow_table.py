@@ -47,6 +47,8 @@ class FlowTable:
         self.idle_timeout_us = idle_timeout_us
         self._flows: dict[FiveTuple, FlowState] = {}
         self.packets_observed = 0
+        self.demotions = 0
+        self.priority_resets = 0
 
     def __len__(self) -> int:
         return len(self._flows)
@@ -74,6 +76,8 @@ class FlowTable:
         level = self.config.level_for_bytes(state.sent_bytes)
         state.sent_bytes += payload_bytes
         state.last_seen_us = now_us
+        if self.config.level_for_bytes(state.sent_bytes) > level:
+            self.demotions += 1
         return level
 
     def level_of(self, five_tuple: FiveTuple) -> int:
@@ -90,6 +94,7 @@ class FlowTable:
 
     def reset_all(self) -> None:
         """Priority boost (section 6.3): zero every flow's sent-bytes."""
+        self.priority_resets += 1
         for state in self._flows.values():
             state.sent_bytes = 0
 

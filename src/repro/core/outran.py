@@ -25,7 +25,13 @@ import numpy as np
 
 from repro.core.inter_user import head_levels, reselect_users, reselect_users_top_k
 from repro.mac.pf import ProportionalFairScheduler
-from repro.mac.scheduler import MacScheduler, MetricScheduler, UeSchedState, active_mask
+from repro.mac.scheduler import (
+    MacScheduler,
+    MetricScheduler,
+    UeSchedState,
+    active_mask,
+    argmax_allocation,
+)
 
 DEFAULT_EPSILON = 0.2
 
@@ -46,6 +52,12 @@ class OutranScheduler(MacScheduler):
         self.legacy = legacy if legacy is not None else ProportionalFairScheduler()
         self.epsilon = epsilon
         self.top_k = top_k
+        #: Telemetry: when True, each TTI also computes the legacy argmax
+        #: so re-selection hits can be counted (one extra vectorized pass;
+        #: off by default to keep the disabled-telemetry hot path intact).
+        self.collect_stats = False
+        self.rb_assignments = 0
+        self.rb_reselections = 0
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -60,8 +72,15 @@ class OutranScheduler(MacScheduler):
         active = active_mask(ues)
         levels = head_levels([ue.bsr.head_level for ue in ues])
         if self.top_k is not None:
-            return reselect_users_top_k(metric, active, levels, self.top_k)
-        return reselect_users(metric, active, levels, self.epsilon)
+            owner = reselect_users_top_k(metric, active, levels, self.top_k)
+        else:
+            owner = reselect_users(metric, active, levels, self.epsilon)
+        if self.collect_stats:
+            assigned = owner >= 0
+            self.rb_assignments += int(assigned.sum())
+            legacy_owner = argmax_allocation(metric, active)
+            self.rb_reselections += int((assigned & (owner != legacy_owner)).sum())
+        return owner
 
     def on_tti_end(
         self,

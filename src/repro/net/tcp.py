@@ -117,6 +117,7 @@ class TcpFlow:
         self.done = False
         self.packets_sent = 0
         self.retransmits = 0
+        self.rto_firings = 0
 
     # -- sending -----------------------------------------------------------
 
@@ -351,6 +352,7 @@ class TcpFlow:
         if self.done:
             return
         self._rto_event = None
+        self.rto_firings += 1
         self.cubic.ssthresh_bytes = max(self.cwnd_bytes / 2.0, 2.0 * self.mss)
         self.cubic.w_max_bytes = self.cwnd_bytes
         self.cubic.epoch_start_us = None

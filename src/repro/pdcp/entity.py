@@ -81,6 +81,11 @@ class PdcpEntity:
             raise ValueError("eager mode requires the SN assigned at ingress")
         return CipheredPdu(packet=packet, sn=eager_sn, cipher_key_sn=eager_sn)
 
+    @property
+    def sns_allocated(self) -> int:
+        """Sequence numbers drawn so far (whichever counter is in use)."""
+        return self._tx_sn if self.delayed_sn else self._ingress_sn
+
 
 class PdcpReceiver:
     """Receiving PDCP entity (UE side): decipher and deliver.

@@ -236,8 +236,25 @@ class AmTransmitter:
         return self._tx.sdus_dropped
 
     @property
+    def sdus_sent(self) -> int:
+        return self._tx.sdus_sent
+
+    @property
+    def pdus_built(self) -> int:
+        return self._tx.pdus_built
+
+    @property
+    def segments_sent(self) -> int:
+        return self._tx.segments_sent
+
+    @property
     def unacked_count(self) -> int:
         return len(self._unacked)
+
+    @property
+    def retx_queue_depth(self) -> int:
+        """PDUs currently queued for retransmission."""
+        return len(self._retx_queue)
 
 
 class AmReceiver:

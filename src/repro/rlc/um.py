@@ -60,6 +60,8 @@ class UmTransmitter:
         self._on_sdu_first_tx = on_sdu_first_tx
         self.sdus_dropped = 0
         self.sdus_sent = 0
+        self.pdus_built = 0
+        self.segments_sent = 0
 
     def write_sdu(self, packet: Packet, level: int, now_us: int) -> Optional[RlcSdu]:
         """Enqueue a downlink packet; returns the SDU, or None on overflow.
@@ -111,6 +113,7 @@ class UmTransmitter:
                 self._on_sdu_first_tx(sdu)
             sdu.sent_bytes += take
             pdu.segments.append(segment)
+            self.segments_sent += 1
             budget -= take + RLC_HEADER_BYTES
             if sdu.remaining > 0:
                 # Segmented SDU: keep the remainder at the very front
@@ -123,7 +126,10 @@ class UmTransmitter:
             self.sdus_sent += 1
             if self._on_sdu_dequeued is not None:
                 self._on_sdu_dequeued(sdu, now_us - sdu.enqueued_us)
-        return pdu if pdu else None
+        if pdu:
+            self.pdus_built += 1
+            return pdu
+        return None
 
     def boost_priorities(self) -> None:
         """Move all queued SDUs to the top queue (priority reset support)."""

@@ -13,7 +13,9 @@ scheduling only).
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Union
+import sys
+from time import perf_counter_ns
+from typing import Callable, Optional, Sequence, TextIO, Union
 
 import numpy as np
 
@@ -36,7 +38,11 @@ from repro.sim.config import SimConfig
 from repro.sim.engine import EventEngine, PeriodicTask, microseconds
 from repro.sim.enb import XNodeB
 from repro.sim.metrics import FctRecord, MetricsCollector, SimResult
+from repro.sim.trace import SchedulingTrace
 from repro.sim.ue import FlowRuntime, UeContext
+from repro.telemetry.heartbeat import Heartbeat
+from repro.telemetry.profiler import Profiler, coerce_profiler
+from repro.telemetry.registry import TelemetryRegistry, coerce_registry
 from repro.traffic.distributions import distribution_by_name
 from repro.traffic.generator import FlowSpec, IncastGenerator, PoissonTrafficGenerator
 
@@ -98,9 +104,20 @@ class CellSimulation:
         config: SimConfig,
         scheduler: Union[str, MacScheduler] = "pf",
         flows: Optional[Sequence[FlowSpec]] = None,
+        telemetry: Union[TelemetryRegistry, bool, None] = None,
+        profiler: Union[Profiler, bool, None] = None,
     ) -> None:
         self.config = config
         self.engine = EventEngine()
+        #: Telemetry registry (``True`` creates a fresh one; the default is
+        #: the shared no-op registry, so instrumentation costs nothing).
+        self.telemetry = coerce_registry(telemetry)
+        #: Wall-clock phase profiler (``True`` creates a fresh one).
+        self.profiler = coerce_profiler(profiler)
+        self._sec_tcp = self.profiler.section("tcp")
+        self._sec_phy = self.profiler.section("phy")
+        self._heartbeat: Optional[Heartbeat] = None
+        self._run_wall_ns = 0
         self.scheduler = make_scheduler(scheduler, config)
         self._use_mlfq = _uses_mlfq(self.scheduler, config)
         self._rng = np.random.default_rng(config.seed)
@@ -133,6 +150,8 @@ class CellSimulation:
             self.engine,
             self.metrics,
             np.random.default_rng(config.seed + 2),
+            telemetry=self.telemetry,
+            profiler=self.profiler,
         )
         self._runtimes: dict[int, FlowRuntime] = {}
         self._flow_sizes: dict[int, int] = {}
@@ -200,6 +219,10 @@ class CellSimulation:
     # -- flow plumbing -----------------------------------------------------------
 
     def _start_flow(self, spec: FlowSpec) -> None:
+        with self._sec_tcp:
+            self._start_flow_inner(spec)
+
+    def _start_flow_inner(self, spec: FlowSpec) -> None:
         ue = self.ues[spec.ue_index]
         port_key = spec.connection if spec.connection is not None else spec.flow_id
         five_tuple = FiveTuple(
@@ -244,7 +267,8 @@ class CellSimulation:
     def _ack_arrive(self, flow_id: int, ack_seq: int, sack_blocks: tuple) -> None:
         runtime = self._runtimes.get(flow_id)
         if runtime is not None:
-            runtime.sender.on_ack(ack_seq, sack_blocks)
+            with self._sec_tcp:
+                runtime.sender.on_ack(ack_seq, sack_blocks)
 
     def start_flow(
         self,
@@ -330,12 +354,18 @@ class CellSimulation:
                 self.config.priority_reset_period_us,
                 self._on_priority_reset,
             )
-        self.engine.run_until(microseconds(duration_s + drain_s))
+        t0 = perf_counter_ns()
+        with self.profiler.run():
+            self.engine.run_until(microseconds(duration_s + drain_s))
+        self._run_wall_ns = perf_counter_ns() - t0
         tti_task.stop()
         cqi_task.stop()
         if reset_task is not None:
             reset_task.stop()
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
         self._harvest_counters()
+        self._harvest_telemetry()
         return SimResult(
             self.metrics,
             duration_s,
@@ -347,11 +377,13 @@ class CellSimulation:
                 "ttis": self.enb.ttis_run,
                 "tbs_lost": self.enb.tbs_lost,
             },
+            telemetry=self.telemetry_snapshot(),
         )
 
     def _on_cqi_update(self) -> None:
-        self.channel.update_all(self.engine.now_s)
-        self.enb.refresh_rates()
+        with self._sec_phy:
+            self.channel.update_all(self.engine.now_s)
+            self.enb.refresh_rates()
 
     def _on_priority_reset(self) -> None:
         for ue in self.ues:
@@ -363,3 +395,144 @@ class CellSimulation:
             discarded = getattr(ue.rlc_rx, "sdus_discarded", 0)
             self.metrics.reassembly_discards += discarded
             self.metrics.sdus_dropped += ue.rlc.sdus_dropped
+
+    # -- observability -----------------------------------------------------------
+
+    def enable_trace(self) -> SchedulingTrace:
+        """Record per-TTI scheduling decisions (see ``repro.sim.trace``)."""
+        return self.enb.enable_trace()
+
+    def attach_heartbeat(
+        self,
+        period_s: float = 1.0,
+        emit: Optional[Callable[[str], None]] = None,
+        stream: Optional[TextIO] = None,
+    ) -> Heartbeat:
+        """Emit a run-health line every ``period_s`` of simulated time.
+
+        Call before :meth:`run`.  The heartbeat reports sim-time progress,
+        events/s, event-queue depth, active flow count, and -- when a
+        scheduling trace is attached -- the trace's memory footprint.
+        """
+        if self._heartbeat is not None:
+            return self._heartbeat
+        heartbeat = Heartbeat(
+            self.engine,
+            period_s=period_s,
+            emit=emit,
+            stream=stream if (stream is not None or emit is not None) else sys.stderr,
+            sources={
+                "active_flows": lambda: sum(
+                    len(ue.active_runtimes) for ue in self.ues
+                ),
+                "flows_done": lambda: len(self.metrics.records),
+            },
+        )
+        if self.enb.trace is not None:
+            trace = self.enb.trace
+            heartbeat.add_source(
+                "trace_mb", lambda: trace.memory_bytes() / 1e6
+            )
+        self._heartbeat = heartbeat
+        return heartbeat
+
+    def telemetry_snapshot(self) -> Optional[dict]:
+        """Registry snapshot plus profiler breakdown (None when disabled)."""
+        if not self.telemetry.enabled and not self.profiler.enabled:
+            return None
+        snapshot = self.telemetry.snapshot()
+        if self.profiler.enabled:
+            snapshot["profile"] = self.profiler.report()
+        return snapshot
+
+    def _harvest_telemetry(self) -> None:
+        """Fold every layer's lifetime counters into the registry.
+
+        Pure reads: harvesting cannot perturb the simulation, and the
+        plain-integer counters it collects cost the hot paths nothing when
+        telemetry is disabled.
+        """
+        reg = self.telemetry
+        if not reg.enabled:
+            return
+        # engine --------------------------------------------------------
+        stats = self.engine.stats()
+        reg.counter("engine.events_processed").inc(stats["events_processed"])
+        reg.gauge("engine.queue_depth").set(stats["queue_depth"])
+        wall_s = self._run_wall_ns / 1e9
+        reg.gauge("engine.wall_seconds").set(wall_s)
+        if wall_s > 0:
+            reg.gauge("engine.events_per_wall_s").set(
+                stats["events_processed"] / wall_s
+            )
+            reg.gauge("engine.wall_s_per_sim_s").set(
+                wall_s / max(stats["now_us"] / 1e6, 1e-9)
+            )
+        # MAC -----------------------------------------------------------
+        self.enb.harvest_telemetry()
+        # RLC / PDCP / MLFQ ---------------------------------------------
+        rlc_tx = {"sdus_sent": 0, "pdus_built": 0, "segments_sent": 0,
+                  "sdus_dropped": 0}
+        rlc_am = {"retx_transmissions": 0, "spurious_retx": 0,
+                  "pdus_abandoned": 0, "retx_queue_depth": 0}
+        rx_delivered = rx_discarded = rx_partials = 0
+        buffered_bytes = 0
+        sns = pdcp_delivered = pdcp_failures = 0
+        flows_tracked = packets_observed = demotions = boosts = 0
+        for ue in self.ues:
+            for key in rlc_tx:
+                rlc_tx[key] += getattr(ue.rlc, key, 0)
+            for key in rlc_am:
+                rlc_am[key] += getattr(ue.rlc, key, 0)
+            rx_delivered += getattr(ue.rlc_rx, "sdus_delivered", 0)
+            rx_discarded += getattr(ue.rlc_rx, "sdus_discarded", 0)
+            rx_partials += getattr(ue.rlc_rx, "pending_partials", 0)
+            buffered_bytes += ue.rlc.buffered_bytes
+            sns += ue.pdcp.sns_allocated
+            pdcp_delivered += ue.pdcp_rx.delivered
+            pdcp_failures += ue.pdcp_rx.decipher_failures
+            flows_tracked += len(ue.flow_table)
+            packets_observed += ue.flow_table.packets_observed
+            demotions += ue.flow_table.demotions
+            boosts += ue.flow_table.priority_resets
+        for key, value in rlc_tx.items():
+            reg.counter(f"rlc.tx.{key}").inc(value)
+        for key, value in rlc_am.items():
+            if key == "retx_queue_depth":
+                reg.gauge("rlc.am.retx_queue_depth").set(value)
+            else:
+                reg.counter(f"rlc.am.{key}").inc(value)
+        reg.counter("rlc.rx.sdus_delivered").inc(rx_delivered)
+        reg.counter("rlc.rx.reassembly_expiries").inc(rx_discarded)
+        reg.gauge("rlc.rx.pending_partials").set(rx_partials)
+        reg.gauge("rlc.tx.buffered_bytes").set(buffered_bytes)
+        reg.counter("pdcp.sns_allocated").inc(sns)
+        reg.counter("pdcp.sdus_delivered").inc(pdcp_delivered)
+        reg.counter("pdcp.decipher_failures").inc(pdcp_failures)
+        reg.gauge("pdcp.flow_table.flows").set(flows_tracked)
+        reg.counter("pdcp.flow_table.packets_observed").inc(packets_observed)
+        reg.counter("mlfq.demotions").inc(demotions)
+        reg.counter("mlfq.priority_boosts").inc(boosts)
+        # TCP -----------------------------------------------------------
+        packets_sent = retransmits = rto_firings = 0
+        cwnds = []
+        for runtime in self._runtimes.values():
+            sender = runtime.sender
+            packets_sent += sender.packets_sent
+            retransmits += sender.retransmits
+            rto_firings += sender.rto_firings
+            if not sender.done:
+                cwnds.append(sender.cwnd_bytes)
+        reg.counter("tcp.packets_sent").inc(packets_sent)
+        reg.counter("tcp.retransmits").inc(retransmits)
+        reg.counter("tcp.rto_firings").inc(rto_firings)
+        reg.gauge("tcp.cwnd_bytes.mean").set(
+            float(np.mean(cwnds)) if cwnds else 0.0
+        )
+        reg.gauge("tcp.cwnd_bytes.max").set(float(max(cwnds)) if cwnds else 0.0)
+        # flows ---------------------------------------------------------
+        reg.counter("sim.flows_started").inc(self.metrics.flows_started)
+        reg.counter("sim.flows_completed").inc(len(self.metrics.records))
+        reg.gauge("sim.flows_active").set(
+            sum(len(ue.active_runtimes) for ue in self.ues)
+        )

@@ -17,7 +17,8 @@ Every TTI the :class:`XNodeB`:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence, Union
+from time import perf_counter_ns
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -35,6 +36,8 @@ from repro.sim.engine import EventEngine
 from repro.sim.metrics import MetricsCollector
 from repro.sim.trace import SchedulingTrace
 from repro.sim.ue import UeContext
+from repro.telemetry.profiler import Profiler, coerce_profiler
+from repro.telemetry.registry import TelemetryRegistry, coerce_registry
 
 
 _ORACLE_TYPES = (
@@ -63,6 +66,8 @@ class XNodeB:
         engine: EventEngine,
         metrics: MetricsCollector,
         rng: np.random.Generator,
+        telemetry: Optional[TelemetryRegistry] = None,
+        profiler: Optional[Profiler] = None,
     ) -> None:
         self.config = config
         self.scheduler = scheduler
@@ -95,6 +100,20 @@ class XNodeB:
         self.tbs_lost = 0
         #: Optional per-TTI scheduling trace (attach via enable_trace()).
         self.trace: SchedulingTrace | None = None
+        self._tel = coerce_registry(telemetry)
+        self._prof = coerce_profiler(profiler)
+        self._sec_schedule = self._prof.section("schedule")
+        self._sec_rlc = self._prof.section("rlc")
+        self._sec_bookkeeping = self._prof.section("bookkeeping")
+        # Decision-latency histogram only when telemetry is live (the two
+        # perf_counter_ns stamps per TTI are skipped entirely otherwise).
+        self._lat_hist = (
+            self._tel.histogram("mac.tti.decision_latency_us")
+            if self._tel.enabled
+            else None
+        )
+        if self._tel.enabled and hasattr(scheduler, "collect_stats"):
+            scheduler.collect_stats = True
 
     def enable_trace(self) -> SchedulingTrace:
         """Start recording per-TTI scheduling decisions."""
@@ -154,7 +173,17 @@ class XNodeB:
         owner = None
         grant_bits = np.zeros(len(self.ues))
         if backlogged:
-            owner = self.scheduler.allocate(self._rates, self._sched_states, now)
+            with self._sec_schedule:
+                if self._lat_hist is not None:
+                    t0 = perf_counter_ns()
+                    owner = self.scheduler.allocate(
+                        self._rates, self._sched_states, now
+                    )
+                    self._lat_hist.observe((perf_counter_ns() - t0) / 1e3)
+                else:
+                    owner = self.scheduler.allocate(
+                        self._rates, self._sched_states, now
+                    )
             valid = owner >= 0
             if valid.any():
                 rb_idx = np.nonzero(valid)[0]
@@ -182,8 +211,25 @@ class XNodeB:
                             table,
                             re_per_rb,
                         )
-                for ue_index in np.nonzero(grant_bits)[0]:
-                    self._serve_ue(self.ues[ue_index], int(grant_bits[ue_index]) // 8, served_bits)
+                with self._sec_rlc:
+                    for ue_index in np.nonzero(grant_bits)[0]:
+                        self._serve_ue(
+                            self.ues[ue_index],
+                            int(grant_bits[ue_index]) // 8,
+                            served_bits,
+                        )
+        with self._sec_bookkeeping:
+            self._record_tti(now, owner, grant_bits, served_bits, backlogged)
+
+    def _record_tti(
+        self,
+        now: int,
+        owner: Optional[np.ndarray],
+        grant_bits: np.ndarray,
+        served_bits: np.ndarray,
+        backlogged: list[int],
+    ) -> None:
+        """Post-allocation accounting: trace, metrics, scheduler EWMA."""
         if self.trace is not None:
             self.trace.record(
                 now,
@@ -259,14 +305,50 @@ class XNodeB:
             self.tbs_lost += 1
             return  # UM: reassembly window cleans up; AM: status/poll recovers
         now = self.engine.now_us
-        for item in items:
-            if isinstance(item, RlcPdu):
-                status = ue.rlc_rx.receive_pdu(item, now)
-                if status is not None and ue.is_am:
-                    self.engine.schedule_in(
-                        self.config.ul_delay_us, self._deliver_status, ue, status
-                    )
-            # eNB->UE AmStatus control PDUs are absorbed by the UE.
+        with self._sec_rlc:
+            for item in items:
+                if isinstance(item, RlcPdu):
+                    status = ue.rlc_rx.receive_pdu(item, now)
+                    if status is not None and ue.is_am:
+                        self.engine.schedule_in(
+                            self.config.ul_delay_us, self._deliver_status, ue, status
+                        )
+                # eNB->UE AmStatus control PDUs are absorbed by the UE.
 
     def _deliver_status(self, ue: UeContext, status: AmStatus) -> None:
-        ue.rlc.receive_status(status, self.engine.now_us)
+        with self._sec_rlc:
+            ue.rlc.receive_status(status, self.engine.now_us)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def harvest_telemetry(self) -> None:
+        """Fold the MAC layer's lifetime counters into the registry.
+
+        Called once, at the end of a run; counters accumulate when several
+        cells share one registry (multi-cell runs, benchmark suites).
+        """
+        reg = self._tel
+        if not reg.enabled:
+            return
+        reg.counter("mac.ttis_run").inc(self.ttis_run)
+        reg.counter("mac.tbs_lost").inc(self.tbs_lost)
+        if self._harq is not None:
+            reg.counter("mac.harq.retransmissions").inc(
+                sum(h.retransmissions for h in self._harq)
+            )
+            reg.counter("mac.harq.abandoned").inc(
+                sum(h.abandoned for h in self._harq)
+            )
+            reg.gauge("mac.harq.pending_bytes").set(
+                sum(h.pending_bytes for h in self._harq)
+            )
+        if getattr(self.scheduler, "collect_stats", False):
+            reg.counter("mac.epsilon.rb_assignments").inc(
+                self.scheduler.rb_assignments
+            )
+            reg.counter("mac.epsilon.rb_reselections").inc(
+                self.scheduler.rb_reselections
+            )
+        if self.trace is not None:
+            reg.gauge("mac.trace.ttis").set(len(self.trace))
+            reg.gauge("mac.trace.memory_bytes").set(self.trace.memory_bytes())

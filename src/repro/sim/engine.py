@@ -131,6 +131,14 @@ class EventEngine:
         """Number of queued events, including cancelled tombstones."""
         return len(self._queue)
 
+    def stats(self) -> dict:
+        """Telemetry-harvest view of the loop's lifetime counters."""
+        return {
+            "events_processed": self.events_processed,
+            "queue_depth": len(self._queue),
+            "now_us": self.now_us,
+        }
+
 
 class PeriodicTask:
     """Re-schedules a callback every ``period_us`` until cancelled.

@@ -167,12 +167,18 @@ class SimResult:
         scheduler_name: str,
         flow_sizes: Optional[dict[int, int]] = None,
         extra: Optional[dict] = None,
+        telemetry: Optional[dict] = None,
     ) -> None:
         self._c = collector
         self.duration_s = duration_s
         self.scheduler_name = scheduler_name
         self._flow_sizes = flow_sizes or {}
         self.extra = extra or {}
+        #: Telemetry snapshot captured at the end of the run (None when the
+        #: run was not instrumented); see docs/OBSERVABILITY.md.  Kept out
+        #: of the summary accessors so instrumented and plain runs report
+        #: identical simulation results.
+        self.telemetry = telemetry
 
     # -- FCT ------------------------------------------------------------------
 

@@ -19,15 +19,22 @@ from repro.mac.scheduler import MacScheduler
 from repro.sim.cell import CellSimulation
 from repro.sim.config import SimConfig
 from repro.sim.metrics import SimResult
+from repro.telemetry.profiler import Profiler, coerce_profiler
+from repro.telemetry.registry import TelemetryRegistry, coerce_registry
 
 
 class PooledResult:
     """Aggregated view over per-cell :class:`SimResult` objects."""
 
-    def __init__(self, results: Sequence[SimResult]) -> None:
+    def __init__(
+        self, results: Sequence[SimResult], telemetry: Optional[dict] = None
+    ) -> None:
         if not results:
             raise ValueError("need at least one cell result")
         self.cells = list(results)
+        #: Pooled telemetry snapshot: counters accumulate across cells
+        #: (the cells share one registry); None when not instrumented.
+        self.telemetry = telemetry
 
     @property
     def completed_flows(self) -> int:
@@ -66,6 +73,8 @@ class MultiCellSimulation:
         config: SimConfig,
         scheduler: Union[str, MacScheduler] = "pf",
         num_cells: int = 4,
+        telemetry: Union[TelemetryRegistry, bool, None] = None,
+        profiler: Union[Profiler, bool, None] = None,
     ) -> None:
         if num_cells < 1:
             raise ValueError(f"need at least one cell: {num_cells}")
@@ -78,16 +87,23 @@ class MultiCellSimulation:
                 "MultiCellSimulation needs a scheduler *name* so each cell "
                 "gets its own instance"
             )
+        # One registry/profiler across all cells: counters and phase
+        # timings accumulate into a pooled deployment-wide view.
+        self.telemetry = coerce_registry(telemetry)
+        self.profiler = coerce_profiler(profiler)
         self.cells = [
             CellSimulation(
                 config.with_overrides(seed=config.seed + 1000 * cell),
                 scheduler=scheduler,
+                telemetry=self.telemetry,
+                profiler=self.profiler,
             )
             for cell in range(num_cells)
         ]
 
     def run(self, duration_s: float, drain_s: float = 2.0) -> PooledResult:
         """Run every cell and pool the results."""
+        results = [cell.run(duration_s, drain_s=drain_s) for cell in self.cells]
         return PooledResult(
-            [cell.run(duration_s, drain_s=drain_s) for cell in self.cells]
+            results, telemetry=self.cells[-1].telemetry_snapshot()
         )

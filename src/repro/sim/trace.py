@@ -12,7 +12,8 @@ Arrays grow in chunks; a full 20 s LTE run of 100 UEs is ~8 MB.
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 import numpy as np
 
@@ -91,6 +92,52 @@ class SchedulingTrace:
     def head_levels(self) -> np.ndarray:
         """(ttis, ues) MLFQ head level; -1 = empty buffer."""
         return self._levels[: self._n]
+
+    # -- accounting --------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the backing arrays (capacity, not just length).
+
+        The module docstring estimates ~8 MB for a full 20 s LTE run of
+        100 UEs; this measures the real footprint so long runs can watch
+        trace growth (the heartbeat reports it).
+        """
+        return int(
+            self._owners.nbytes
+            + self._grants.nbytes
+            + self._buffers.nbytes
+            + self._levels.nbytes
+            + self._times.nbytes
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def save_npz(self, path: Union[str, Path]) -> None:
+        """Write the recorded TTIs (trimmed, compressed) to ``path``."""
+        np.savez_compressed(
+            path,
+            times_us=self.times_us,
+            owners=self.owners,
+            grants_bits=self.grants_bits,
+            buffer_bytes=self.buffer_bytes,
+            head_levels=self.head_levels,
+            shape=np.array([self.num_ues, self.num_rbs], dtype=np.int64),
+        )
+
+    @classmethod
+    def load_npz(cls, path: Union[str, Path]) -> "SchedulingTrace":
+        """Reload a trace written by :meth:`save_npz`."""
+        with np.load(path) as data:
+            num_ues, num_rbs = (int(v) for v in data["shape"])
+            n = int(data["times_us"].shape[0])
+            trace = cls(num_ues, num_rbs, chunk_ttis=max(n, 1))
+            trace._times[:n] = data["times_us"]
+            trace._owners[:n] = data["owners"]
+            trace._grants[:n] = data["grants_bits"]
+            trace._buffers[:n] = data["buffer_bytes"]
+            trace._levels[:n] = data["head_levels"]
+            trace._n = n
+        return trace
 
     # -- analysis helpers ------------------------------------------------------
 

@@ -1,0 +1,44 @@
+"""Unified telemetry: counters/gauges/histograms, profiling, heartbeats.
+
+The subsystem has four pieces, all dependency-free:
+
+* :mod:`repro.telemetry.registry` -- a :class:`TelemetryRegistry` of named
+  counters, gauges, and fixed-bucket histograms.  The :data:`NULL_REGISTRY`
+  singleton implements the same interface as no-ops, so instrumented code
+  never branches on "is telemetry on?" in cold paths.
+* :mod:`repro.telemetry.profiler` -- wall-clock phase profiling built on
+  ``time.perf_counter_ns`` scoped sections (schedule / RLC / PHY / TCP /
+  bookkeeping), with a matching :data:`NULL_PROFILER`.
+* :mod:`repro.telemetry.exporters` -- snapshot serialization to JSON and
+  Prometheus-style text exposition.
+* :mod:`repro.telemetry.heartbeat` -- a periodic run-health line (sim
+  time, events/s, active flows, trace memory) for long runs.
+
+Observability must never perturb the simulation: nothing in this package
+touches an RNG or mutates simulator state, so same-seed runs with and
+without telemetry produce identical results (asserted by the test suite).
+"""
+
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    TelemetryRegistry,
+)
+from repro.telemetry.profiler import NULL_PROFILER, Profiler
+from repro.telemetry.exporters import snapshot_to_json, snapshot_to_prometheus
+from repro.telemetry.heartbeat import Heartbeat
+
+__all__ = [
+    "TelemetryRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_REGISTRY",
+    "Profiler",
+    "NULL_PROFILER",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "Heartbeat",
+]

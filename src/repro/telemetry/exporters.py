@@ -1,0 +1,88 @@
+"""Snapshot serialization: JSON documents and Prometheus text exposition.
+
+Both exporters consume the dict produced by
+:meth:`repro.telemetry.registry.TelemetryRegistry.snapshot` (optionally
+augmented with a ``"profile"`` key from
+:meth:`repro.telemetry.profiler.Profiler.report`); they never touch live
+metric objects, so exporting is safe at any point of a run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+#: Prefix for every exposition-format metric family.
+PROM_PREFIX = "repro"
+
+
+def snapshot_to_json(
+    snapshot: dict, path: Optional[Union[str, Path]] = None, indent: int = 2
+) -> str:
+    """Render a snapshot as a JSON document; optionally write it to disk."""
+    text = json.dumps(snapshot, indent=indent, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def _prom_name(name: str) -> str:
+    return f"{PROM_PREFIX}_{_NAME_SANITIZER.sub('_', name)}"
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def snapshot_to_prometheus(
+    snapshot: dict, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms become the
+    conventional cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``.  Profiler phases (when present) are exported as
+    ``<prefix>_profile_phase_seconds{phase="..."}`` gauges.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for edge, count in zip(hist["edges"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{edge:g}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{prom}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{prom}_count {hist['count']}")
+    profile = snapshot.get("profile")
+    if profile:
+        prom = f"{PROM_PREFIX}_profile_phase_seconds"
+        lines.append(f"# TYPE {prom} gauge")
+        for phase, stats in profile.get("phases", {}).items():
+            lines.append(f'{prom}{{phase="{phase}"}} {stats["seconds"]:.6f}')
+        lines.append(f'{prom}{{phase="other"}} {profile["other_s"]:.6f}')
+        lines.append(
+            f"{PROM_PREFIX}_profile_total_seconds {profile['total_s']:.6f}"
+        )
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text

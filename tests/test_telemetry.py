@@ -1,0 +1,441 @@
+"""Tests for the telemetry subsystem: registry, profiler, exporters,
+heartbeat, simulation wiring, and the observability invariants.
+
+The load-bearing invariant: enabling telemetry/profiling must never
+change simulation outcomes (same seed => identical results), and the
+disabled path must be a true no-op.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import CellSimulation, SimConfig
+from repro.cli import main, result_summary
+from repro.sim.engine import EventEngine
+from repro.sim.multicell import MultiCellSimulation
+from repro.sim.trace import SchedulingTrace
+from repro.telemetry import (
+    NULL_PROFILER,
+    NULL_REGISTRY,
+    Heartbeat,
+    Profiler,
+    TelemetryRegistry,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
+from repro.telemetry.profiler import coerce_profiler
+from repro.telemetry.registry import Histogram, coerce_registry
+
+
+def small_config(**kwargs):
+    defaults = dict(num_ues=3, load=0.4, seed=5)
+    defaults.update(kwargs)
+    return SimConfig.lte_default(**defaults)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = TelemetryRegistry()
+        counter = reg.counter("mac.ttis_run")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_negative_increment_rejected(self):
+        counter = TelemetryRegistry().counter("x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        hist = Histogram("lat", edges=(10, 20))
+        for value in (5, 10, 15, 20, 25):
+            hist.observe(value)
+        # <=10: {5, 10}; <=20: {15, 20}; overflow: {25}
+        assert hist.counts == [2, 2, 1]
+        assert hist.count == 5
+        assert hist.total == 75
+        assert hist.mean() == 15.0
+
+    def test_empty_mean_is_nan(self):
+        assert np.isnan(Histogram("h", edges=(1,)).mean())
+
+    def test_edges_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(2, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+
+
+class TestRegistry:
+    def test_memoized_by_name(self):
+        reg = TelemetryRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert reg.gauge("a.g") is reg.gauge("a.g")
+        assert reg.histogram("a.h") is reg.histogram("a.h")
+
+    def test_name_collision_across_types(self):
+        reg = TelemetryRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ValueError):
+            reg.gauge("a.b")
+        with pytest.raises(ValueError):
+            reg.histogram("a.b")
+
+    def test_histogram_edge_mismatch_rejected(self):
+        reg = TelemetryRegistry()
+        reg.histogram("h", edges=(1, 2))
+        with pytest.raises(ValueError):
+            reg.histogram("h", edges=(1, 3))
+
+    def test_namespaces(self):
+        reg = TelemetryRegistry()
+        reg.counter("mac.ttis_run")
+        reg.gauge("engine.queue_depth")
+        assert reg.namespaces() == {"mac", "engine"}
+
+    def test_snapshot_and_reset(self):
+        reg = TelemetryRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", edges=(10,)).observe(4)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"] == {
+            "edges": [10.0], "counts": [1, 0], "count": 1, "sum": 4.0,
+        }
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 0}
+        assert snap["histograms"]["h"]["count"] == 0
+
+
+class TestNullRegistry:
+    def test_disabled_and_empty(self):
+        assert NULL_REGISTRY.enabled is False
+        assert TelemetryRegistry().enabled is True
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_metrics_are_shared_noops(self):
+        counter = NULL_REGISTRY.counter("anything")
+        assert counter is NULL_REGISTRY.counter("something.else")
+        counter.inc(10 ** 9)
+        assert counter.value == 0
+        gauge = NULL_REGISTRY.gauge("g")
+        gauge.set(5)
+        assert gauge.value == 0.0
+        hist = NULL_REGISTRY.histogram("h")
+        hist.observe(1.0)
+        assert hist.count == 0
+
+    def test_coercion(self):
+        assert coerce_registry(None) is NULL_REGISTRY
+        assert coerce_registry(False) is NULL_REGISTRY
+        fresh = coerce_registry(True)
+        assert fresh.enabled and fresh is not NULL_REGISTRY
+        reg = TelemetryRegistry()
+        assert coerce_registry(reg) is reg
+        with pytest.raises(TypeError):
+            coerce_registry("yes")
+
+
+class TestProfiler:
+    def test_report_phases_plus_other_equals_total(self):
+        prof = Profiler()
+        with prof.run():
+            with prof.section("a"):
+                pass
+            with prof.section("b"):
+                pass
+        report = prof.report()
+        attributed = sum(p["seconds"] for p in report["phases"].values())
+        assert report["total_s"] >= attributed
+        assert report["total_s"] == pytest.approx(
+            attributed + report["other_s"], abs=1e-9
+        )
+        assert report["phases"]["a"]["entries"] == 1
+
+    def test_reentry_raises(self):
+        prof = Profiler()
+        section = prof.section("x")
+        with section:
+            with pytest.raises(RuntimeError):
+                section.__enter__()
+
+    def test_null_profiler(self):
+        assert NULL_PROFILER.enabled is False
+        with NULL_PROFILER.run():
+            with NULL_PROFILER.section("x"):
+                pass
+        assert NULL_PROFILER.report() == {
+            "total_s": 0.0, "phases": {}, "other_s": 0.0,
+        }
+        assert coerce_profiler(None) is NULL_PROFILER
+        prof = Profiler()
+        assert coerce_profiler(prof) is prof
+        with pytest.raises(TypeError):
+            coerce_profiler(42)
+
+
+class TestExporters:
+    def snapshot(self):
+        reg = TelemetryRegistry()
+        reg.counter("mac.ttis_run").inc(7)
+        reg.gauge("engine.queue_depth").set(3)
+        hist = reg.histogram("mac.tti.decision_latency_us", edges=(10, 20))
+        hist.observe(5)
+        hist.observe(15)
+        hist.observe(99)
+        return reg.snapshot()
+
+    def test_json_roundtrip_and_file(self, tmp_path):
+        path = tmp_path / "t.json"
+        text = snapshot_to_json(self.snapshot(), path)
+        assert json.loads(text) == json.loads(path.read_text())
+        assert json.loads(text)["counters"]["mac.ttis_run"] == 7
+
+    def test_prometheus_format(self, tmp_path):
+        snap = self.snapshot()
+        snap["profile"] = {
+            "total_s": 1.0,
+            "phases": {"rlc": {"seconds": 0.25, "entries": 4}},
+            "other_s": 0.75,
+        }
+        path = tmp_path / "t.prom"
+        text = snapshot_to_prometheus(snap, path)
+        assert path.read_text() == text
+        assert "# TYPE repro_mac_ttis_run counter" in text
+        assert "repro_mac_ttis_run 7" in text
+        assert "repro_engine_queue_depth 3" in text
+        # Buckets are cumulative; +Inf equals the total count.
+        assert 'repro_mac_tti_decision_latency_us_bucket{le="10"} 1' in text
+        assert 'repro_mac_tti_decision_latency_us_bucket{le="20"} 2' in text
+        assert 'repro_mac_tti_decision_latency_us_bucket{le="+Inf"} 3' in text
+        assert "repro_mac_tti_decision_latency_us_count 3" in text
+        assert 'repro_profile_phase_seconds{phase="rlc"} 0.250000' in text
+        assert "repro_profile_total_seconds 1.000000" in text
+
+
+class TestHeartbeat:
+    def test_beats_ride_sim_time(self):
+        engine = EventEngine()
+        lines = []
+        beat = Heartbeat(engine, period_s=0.5, emit=lines.append)
+        beat.add_source("flows", lambda: 3)
+        engine.run_until(2_000_000)
+        assert beat.beats == 4
+        assert len(lines) == 4
+        assert beat.last["sim_s"] == pytest.approx(2.0)
+        assert beat.last["flows"] == 3
+        assert "[heartbeat] sim=2.0s" in lines[-1]
+        assert "flows=3" in lines[-1]
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            Heartbeat(EventEngine(), period_s=0)
+
+    def test_attach_to_simulation(self):
+        sim = CellSimulation(small_config(), scheduler="pf", telemetry=True)
+        samples = []
+        sim.attach_heartbeat(period_s=0.25, emit=samples.append)
+        sim.run(duration_s=0.5)
+        assert len(samples) >= 2
+        assert "active_flows=" in samples[-1]
+
+
+class TestSimulationTelemetry:
+    def test_run_populates_layer_namespaces(self):
+        sim = CellSimulation(
+            small_config(), scheduler="outran", telemetry=True, profiler=True
+        )
+        result = sim.run(duration_s=1.0)
+        snap = result.telemetry
+        assert snap is not None
+        counters = snap["counters"]
+        assert counters["engine.events_processed"] > 0
+        assert counters["mac.ttis_run"] > 0
+        assert counters["rlc.tx.pdus_built"] > 0
+        assert counters["tcp.packets_sent"] > 0
+        assert counters["sim.flows_completed"] > 0
+        assert snap["gauges"]["engine.wall_seconds"] > 0
+        assert snap["histograms"]["mac.tti.decision_latency_us"]["count"] > 0
+        # outran-specific epsilon stats were switched on by the wiring
+        assert counters["mac.epsilon.rb_assignments"] > 0
+        profile = snap["profile"]
+        assert profile["total_s"] > 0
+        for phase in ("schedule", "rlc", "tcp", "bookkeeping"):
+            assert profile["phases"][phase]["entries"] > 0
+        attributed = sum(p["seconds"] for p in profile["phases"].values())
+        assert attributed <= profile["total_s"] + 1e-6
+
+    def test_disabled_run_has_no_snapshot(self):
+        result = CellSimulation(small_config(), scheduler="pf").run(duration_s=0.5)
+        assert result.telemetry is None
+
+    def test_telemetry_does_not_change_results(self):
+        plain = CellSimulation(small_config(), scheduler="outran").run(1.0)
+        instrumented = CellSimulation(
+            small_config(), scheduler="outran", telemetry=True, profiler=True
+        )
+        samples = []
+        instrumented.attach_heartbeat(period_s=0.25, emit=samples.append)
+        observed = instrumented.run(1.0)
+        assert result_summary(plain) == result_summary(observed)
+        assert list(plain.fcts_ms()) == list(observed.fcts_ms())
+        assert samples  # the heartbeat really ran
+
+    def test_multicell_pools_counters(self):
+        multi = MultiCellSimulation(
+            small_config(), scheduler="pf", num_cells=2, telemetry=True
+        )
+        pooled = multi.run(duration_s=0.5)
+        per_cell = [
+            CellSimulation(
+                small_config(seed=small_config().seed + 1000 * cell),
+                scheduler="pf",
+                telemetry=True,
+            ).run(0.5)
+            for cell in range(2)
+        ]
+        pooled_events = pooled.telemetry["counters"]["engine.events_processed"]
+        solo_events = sum(
+            r.telemetry["counters"]["engine.events_processed"] for r in per_cell
+        )
+        assert pooled_events == solo_events
+
+
+class TestTraceSerialization:
+    def make_trace(self):
+        trace = SchedulingTrace(num_ues=2, num_rbs=3, chunk_ttis=2)
+        for tti in range(5):  # forces a couple of _grow() calls
+            trace.record(
+                now_us=tti * 1000,
+                owner=np.array([tti % 2, -1, 1], dtype=np.int16),
+                grant_bits=np.array([100 * tti, 50], dtype=np.int64),
+                buffer_bytes=np.array([10, 20], dtype=np.int64),
+                head_levels=np.array([0, -1], dtype=np.int8),
+            )
+        return trace
+
+    def test_npz_roundtrip(self, tmp_path):
+        trace = self.make_trace()
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        loaded = SchedulingTrace.load_npz(path)
+        assert len(loaded) == len(trace)
+        assert loaded.num_ues == 2 and loaded.num_rbs == 3
+        np.testing.assert_array_equal(loaded.times_us, trace.times_us)
+        np.testing.assert_array_equal(loaded.owners, trace.owners)
+        np.testing.assert_array_equal(loaded.grants_bits, trace.grants_bits)
+        np.testing.assert_array_equal(loaded.buffer_bytes, trace.buffer_bytes)
+        np.testing.assert_array_equal(loaded.head_levels, trace.head_levels)
+        assert loaded.utilization() == trace.utilization()
+
+    def test_memory_bytes_counts_capacity(self):
+        trace = self.make_trace()
+        expected = (
+            trace._owners.nbytes + trace._grants.nbytes + trace._buffers.nbytes
+            + trace._levels.nbytes + trace._times.nbytes
+        )
+        assert trace.memory_bytes() == expected
+        assert trace.memory_bytes() > 0
+
+
+def load_harness():
+    path = Path(__file__).parent.parent / "benchmarks" / "_harness.py"
+    spec = importlib.util.spec_from_file_location("bench_harness", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestHarnessCache:
+    def test_lru_eviction_keeps_cap(self):
+        harness = load_harness()
+        harness.CACHE_CAP = 3
+        harness._cache.clear()
+        for i in range(5):
+            harness._cache_put(("key", i), object())
+        assert len(harness._cache) == 3
+        assert list(harness._cache) == [("key", 2), ("key", 3), ("key", 4)]
+
+    def test_get_refreshes_recency(self):
+        harness = load_harness()
+        harness.CACHE_CAP = 2
+        harness._cache.clear()
+        harness._cache_put(("a",), object())
+        harness._cache_put(("b",), object())
+        assert harness._cache_get(("a",)) is not None
+        harness._cache_put(("c",), object())  # evicts ("b",), not ("a",)
+        assert harness._cache_get(("a",)) is not None
+        assert harness._cache_get(("b",)) is None
+
+    def test_miss_returns_none(self):
+        harness = load_harness()
+        assert harness._cache_get(("nope",)) is None
+
+
+class TestCliObservability:
+    ARGS = ["--ues", "3", "--load", "0.4", "--duration", "1", "--seed", "2"]
+
+    def test_telemetry_to_file(self, tmp_path, capsys):
+        path = tmp_path / "out.telemetry.json"
+        assert main(self.ARGS + ["--telemetry", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["counters"]["mac.ttis_run"] > 0
+        assert data["counters"]["engine.events_processed"] > 0
+
+    def test_telemetry_to_stdout(self, capsys):
+        assert main(self.ARGS + ["--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert '"engine.events_processed"' in out
+
+    def test_profile_prints_breakdown(self, capsys):
+        assert main(self.ARGS + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile [outran]" in out
+        assert "schedule" in out and "other" in out
+
+    def test_prometheus_export(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(self.ARGS + ["--prometheus", str(path)]) == 0
+        assert "# TYPE repro_mac_ttis_run counter" in path.read_text()
+
+    def test_trace_saved_as_npz(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        assert main(self.ARGS + ["--trace", str(path)]) == 0
+        trace = SchedulingTrace.load_npz(path)
+        assert len(trace) > 0
+
+    def test_compare_writes_per_scheduler_files(self, tmp_path):
+        path = tmp_path / "out.json"
+        rc = main(
+            ["--compare", "pf", "outran", "--ues", "3", "--load", "0.4",
+             "--duration", "1", "--telemetry", str(path)]
+        )
+        assert rc == 0
+        assert (tmp_path / "out.pf.json").exists()
+        assert (tmp_path / "out.outran.json").exists()
+
+    def test_heartbeat_writes_stderr(self, capsys):
+        assert main(self.ARGS + ["--heartbeat", "0.5"]) == 0
+        assert "[heartbeat]" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["0", "-1"])
+    def test_heartbeat_rejects_non_positive(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--heartbeat", bad])
+        assert "must be positive" in capsys.readouterr().err
