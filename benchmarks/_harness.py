@@ -7,30 +7,43 @@ EXPERIMENTS.md).
 
 Scale: by default the benchmarks run in *quick* mode (fewer UEs, shorter
 runs) so the whole suite finishes in tens of minutes.  Set
-``REPRO_BENCH_FULL=1`` for paper-scale runs.
+``REPRO_BENCH_FULL=1`` for paper-scale runs.  The CI smoke job shrinks
+further via ``REPRO_BENCH_LTE_UES`` / ``REPRO_BENCH_LTE_DURATION`` (and
+the ``NR`` twins).
 
-Simulations are memoized per process: several figures share the same
-(scheduler, load) sweep, so e.g. Figure 15 and Figure 16 reuse runs.  The
-memo is an LRU bounded by ``CACHE_CAP`` entries (override with
-``REPRO_BENCH_CACHE``) so a full-mode suite run does not accumulate every
-``SimResult`` for the whole process lifetime.
+Caching is two layers deep.  The in-process LRU (``CACHE_CAP`` entries,
+override with ``REPRO_BENCH_CACHE``) serves repeat requests within one
+suite run; beneath it sits the persistent, content-hash-keyed
+:class:`~repro.runner.store.ResultStore` under
+``benchmarks/results/.store/`` (relocate with ``REPRO_BENCH_STORE=path``,
+disable with ``REPRO_BENCH_STORE=0``), so figures that share a sweep --
+e.g. Figure 15 and Figure 16 -- reuse runs *across* processes and
+interrupted suites resume from the last completed run.  An LRU eviction
+is therefore harmless: the evicted entry is re-served from disk, not
+re-simulated.
 
-Every run is instrumented with the shared telemetry registry and phase
-profiler; ``record()`` writes a ``<name>.<mode>.telemetry.json`` next to
-each figure's text output so the perf trajectory can be grounded in
-phase timings (telemetry never changes simulation results -- the test
-suite asserts this).
+Parallelism: ``REPRO_BENCH_JOBS=N`` makes the ``prefetch_*`` helpers
+(called by the sweep-heavy figures) execute their grid through
+:class:`~repro.runner.pool.SweepRunner` on N worker processes.  Seeds are
+explicit, so parallel and serial runs produce byte-identical figure text.
+
+Every in-process run is instrumented with the shared telemetry registry
+and phase profiler; ``record()`` writes a ``<name>.<mode>.telemetry.json``
+next to each figure's text output (telemetry never changes simulation
+results -- the test suite asserts this; prefetched runs execute
+uninstrumented in workers and contribute no counters).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from collections import OrderedDict
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro import CellSimulation, SimConfig
-from repro.sim.config import TrafficSpec
+from repro import CellSimulation
+from repro.runner import ResultStore, RunSpec, SweepRunner
 from repro.sim.metrics import SimResult
 from repro.telemetry import Profiler, TelemetryRegistry, snapshot_to_json
 
@@ -38,42 +51,133 @@ QUICK = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-#: Default seeds/durations per mode.
-LTE_UES = 60 if QUICK else 100
-LTE_DURATION_S = 10.0 if QUICK else 25.0
-NR_UES = 16 if QUICK else 40
-NR_DURATION_S = 4.0 if QUICK else 12.0
+#: Default seeds/durations per mode (env overrides exist so CI smoke
+#: sweeps can run a real figure at toy scale).
+LTE_UES = int(os.environ.get("REPRO_BENCH_LTE_UES", 60 if QUICK else 100))
+LTE_DURATION_S = float(
+    os.environ.get("REPRO_BENCH_LTE_DURATION", 10.0 if QUICK else 25.0)
+)
+NR_UES = int(os.environ.get("REPRO_BENCH_NR_UES", 16 if QUICK else 40))
+NR_DURATION_S = float(
+    os.environ.get("REPRO_BENCH_NR_DURATION", 4.0 if QUICK else 12.0)
+)
 DEFAULT_SEED = 42
+
+#: Worker processes used by the prefetch helpers (1 = serial, unchanged).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 #: Most figure groups reuse at most a handful of sweeps; two dozen cached
 #: results comfortably covers the sharing while bounding process memory.
 CACHE_CAP = int(os.environ.get("REPRO_BENCH_CACHE", "24"))
 
-_cache: "OrderedDict[tuple, SimResult]" = OrderedDict()
+_cache: "OrderedDict[str, SimResult]" = OrderedDict()
+
+
+def _make_store() -> Optional[ResultStore]:
+    configured = os.environ.get("REPRO_BENCH_STORE")
+    if configured is None:
+        return ResultStore(RESULTS_DIR / ".store")
+    if configured in ("", "0"):
+        return None
+    return ResultStore(configured)
+
+
+#: Persistent cross-process result store (None when disabled).
+STORE = _make_store()
 
 #: Shared across every harness run so the suite's telemetry pools.
 TELEMETRY = TelemetryRegistry()
 PROFILER = Profiler()
 
 
-def _cache_get(key: tuple) -> Optional[SimResult]:
+def _cache_get(key: str) -> Optional[SimResult]:
     result = _cache.get(key)
     if result is not None:
         _cache.move_to_end(key)
-    return result
+        return result
+    # LRU miss: fall through to the persistent store, so an evicted entry
+    # is re-read from disk instead of silently re-simulated.
+    if STORE is not None:
+        stored = STORE.get(key)
+        if stored is not None:
+            return _cache_put(key, stored, persist=False)
+    return None
 
 
-def _cache_put(key: tuple, result: SimResult) -> SimResult:
+def _cache_put(key: str, result: SimResult, persist: bool = True) -> SimResult:
     _cache[key] = result
     _cache.move_to_end(key)
     while len(_cache) > CACHE_CAP:
         _cache.popitem(last=False)
+    if persist and STORE is not None and key not in STORE:
+        STORE.put(key, result)
     return result
 
 
 def scale(quick_value, full_value):
     """Pick a parameter by benchmark mode."""
     return quick_value if QUICK else full_value
+
+
+def _lte_spec(
+    scheduler: str,
+    load: float,
+    num_ues: Optional[int],
+    duration_s: Optional[float],
+    seed: int,
+    overrides: dict,
+) -> RunSpec:
+    return RunSpec(
+        rat="lte",
+        scheduler=scheduler,
+        load=load,
+        seed=seed,
+        num_ues=num_ues if num_ues is not None else LTE_UES,
+        duration_s=duration_s if duration_s is not None else LTE_DURATION_S,
+        overrides=overrides,
+    )
+
+
+def _nr_spec(
+    scheduler: str,
+    mu: int,
+    load: float,
+    mec: bool,
+    num_ues: Optional[int],
+    duration_s: Optional[float],
+    seed: int,
+    overrides: dict,
+) -> RunSpec:
+    return RunSpec(
+        rat="nr",
+        scheduler=scheduler,
+        load=load,
+        seed=seed,
+        num_ues=num_ues if num_ues is not None else NR_UES,
+        duration_s=duration_s if duration_s is not None else NR_DURATION_S,
+        mu=mu,
+        mec=mec,
+        overrides=overrides,
+    )
+
+
+def _run_spec_inline(spec: RunSpec) -> SimResult:
+    """Execute one spec in-process, instrumented with the suite telemetry."""
+    sim = CellSimulation(
+        spec.to_config(),
+        scheduler=spec.scheduler,
+        telemetry=TELEMETRY,
+        profiler=PROFILER,
+    )
+    return sim.run(spec.duration_s)
+
+
+def _fetch_or_run(spec: RunSpec) -> SimResult:
+    key = spec.key()
+    cached = _cache_get(key)
+    if cached is not None:
+        return cached
+    return _cache_put(key, _run_spec_inline(spec))
 
 
 def run_lte(
@@ -84,16 +188,10 @@ def run_lte(
     seed: int = DEFAULT_SEED,
     **overrides,
 ) -> SimResult:
-    """Run (or fetch from cache) one LTE cell simulation."""
-    num_ues = num_ues if num_ues is not None else LTE_UES
-    duration_s = duration_s if duration_s is not None else LTE_DURATION_S
-    key = ("lte", scheduler, load, num_ues, duration_s, seed, tuple(sorted(overrides.items())))
-    cached = _cache_get(key)
-    if cached is not None:
-        return cached
-    cfg = SimConfig.lte_default(num_ues=num_ues, load=load, seed=seed, **overrides)
-    sim = CellSimulation(cfg, scheduler=scheduler, telemetry=TELEMETRY, profiler=PROFILER)
-    return _cache_put(key, sim.run(duration_s))
+    """Run (or fetch from cache/store) one LTE cell simulation."""
+    return _fetch_or_run(
+        _lte_spec(scheduler, load, num_ues, duration_s, seed, overrides)
+    )
 
 
 def run_nr(
@@ -106,18 +204,78 @@ def run_nr(
     seed: int = DEFAULT_SEED,
     **overrides,
 ) -> SimResult:
-    """Run (or fetch from cache) one 5G NR cell simulation."""
-    num_ues = num_ues if num_ues is not None else NR_UES
-    duration_s = duration_s if duration_s is not None else NR_DURATION_S
-    key = ("nr", scheduler, mu, load, mec, num_ues, duration_s, seed, tuple(sorted(overrides.items())))
-    cached = _cache_get(key)
-    if cached is not None:
-        return cached
-    cfg = SimConfig.nr_default(
-        mu=mu, num_ues=num_ues, load=load, seed=seed, mec=mec, **overrides
+    """Run (or fetch from cache/store) one 5G NR cell simulation."""
+    return _fetch_or_run(
+        _nr_spec(scheduler, mu, load, mec, num_ues, duration_s, seed, overrides)
     )
-    sim = CellSimulation(cfg, scheduler=scheduler, telemetry=TELEMETRY, profiler=PROFILER)
-    return _cache_put(key, sim.run(duration_s))
+
+
+def prefetch(specs: Sequence[RunSpec]) -> None:
+    """Execute a sweep grid up-front, in parallel when ``JOBS`` > 1.
+
+    With ``JOBS=1`` this is a no-op: runs happen lazily exactly as they
+    always have, preserving today's serial behaviour byte-for-byte.  With
+    more jobs the grid executes across worker processes into the shared
+    store and primes the in-process LRU; any quarantined run is reported
+    but not raised, so the figure falls back to simulating it inline.
+    """
+    if JOBS <= 1 or not specs:
+        return
+    runner = SweepRunner(
+        jobs=JOBS,
+        store=STORE,
+        telemetry=TELEMETRY,
+        progress=sys.stderr,
+        progress_period_s=30.0,
+    )
+    outcome = runner.execute(specs)
+    for failure in outcome.failures.values():
+        print(f"[harness] prefetch failure, will retry inline: {failure}",
+              file=sys.stderr)
+    for spec in specs:
+        result = outcome.get(spec)
+        if result is not None:
+            _cache_put(spec.key(), result, persist=STORE is None)
+
+
+def prefetch_lte(
+    schedulers: Sequence[str],
+    loads: Sequence[float],
+    num_ues: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
+    **overrides,
+) -> None:
+    """Prefetch the scheduler x load LTE grid used by the cell-scale figures."""
+    prefetch(
+        [
+            _lte_spec(sched, load, num_ues, duration_s, seed, overrides)
+            for sched in schedulers
+            for load in loads
+        ]
+    )
+
+
+def prefetch_nr(
+    schedulers: Sequence[str],
+    loads: Sequence[float],
+    mus: Sequence[int] = (1,),
+    mecs: Sequence[bool] = (False,),
+    num_ues: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
+    **overrides,
+) -> None:
+    """Prefetch the scheduler x load x numerology x placement NR grid."""
+    prefetch(
+        [
+            _nr_spec(sched, mu, load, mec, num_ues, duration_s, seed, overrides)
+            for sched in schedulers
+            for load in loads
+            for mu in mus
+            for mec in mecs
+        ]
+    )
 
 
 def record(name: str, text: str) -> str:

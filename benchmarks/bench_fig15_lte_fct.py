@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis.tables import series_table
 
-from _harness import once, record, run_lte, scale
+from _harness import once, prefetch_lte, record, run_lte, scale
 
 SCHEDULERS = ("pf", "srjf", "pss", "cqa", "outran")
 LOADS = scale((0.5, 0.7, 0.9), (0.4, 0.5, 0.6, 0.7, 0.8, 0.9))
@@ -27,6 +27,7 @@ def _series(metric) -> dict[str, list[str]]:
 
 
 def run_fig15() -> str:
+    prefetch_lte(SCHEDULERS, LOADS)
     panels = [
         ("(a) overall average FCT (ms)", lambda r: r.avg_fct_ms()),
         ("(b) short (<=10KB) 95%-ile FCT (ms)", lambda r: r.pctl_fct_ms(95, "S")),

@@ -10,13 +10,14 @@ import pytest
 
 from repro.analysis.tables import format_table
 
-from _harness import once, record, run_lte, scale
+from _harness import once, prefetch_lte, record, run_lte, scale
 
 SCHEDULERS = ("pf", "srjf", "pss", "cqa", "outran")
 LOADS = scale((0.5, 0.7, 0.9), (0.4, 0.5, 0.6, 0.7, 0.8, 0.9))
 
 
 def run_fig16() -> str:
+    prefetch_lte(SCHEDULERS, LOADS)
     rows = []
     pf_at = {load: run_lte("pf", load=load) for load in LOADS}
     for sched in SCHEDULERS:

@@ -14,7 +14,7 @@ import pytest
 
 from repro.analysis.tables import format_table
 
-from _harness import once, record, run_nr, scale
+from _harness import once, prefetch_nr, record, run_nr, scale
 
 MUS = scale((0, 3), (0, 1, 2, 3))
 LOADS = (0.1, 0.6)
@@ -22,6 +22,7 @@ SLOT_US = {0: 1000, 1: 500, 2: 250, 3: 125}
 
 
 def run_fig17() -> str:
+    prefetch_nr(("pf", "outran"), LOADS, mus=MUS, mecs=(False, True))
     rows = []
     for mec in (False, True):
         site = "MEC(5ms)" if mec else "Remote(20ms)"

@@ -13,13 +13,14 @@ import pytest
 
 from repro.analysis.tables import format_table, series_table
 
-from _harness import once, record, run_nr, scale
+from _harness import once, prefetch_nr, record, run_nr, scale
 
 SCHEDULERS = ("pf", "srjf", "outran")
 LOADS = scale((0.5, 0.9), (0.4, 0.6, 0.8, 0.9))
 
 
 def run_fig20() -> str:
+    prefetch_nr(SCHEDULERS, LOADS)
     fct = {
         sched: [f"{run_nr(sched, load=load).avg_fct_ms():.0f}" for load in LOADS]
         for sched in SCHEDULERS

@@ -1,12 +1,19 @@
-"""Command-line interface: run one cell simulation and print/save results.
+"""Command-line interface: run cell simulations and print/save results.
 
 Examples::
 
     python -m repro --scheduler outran --load 0.9 --ues 40 --duration 8
     python -m repro --rat nr --mu 3 --mec --scheduler pf --json out.json
     python -m repro --compare pf outran srjf --load 0.9
+    python -m repro --compare pf outran srjf --load 0.9 --jobs 3
     python -m repro --scheduler outran --telemetry out.telemetry.json --profile
     python -m repro --scheduler outran --trace trace.npz --heartbeat 1
+    python -m repro sweep sweep.json --jobs 4 --out results.json
+
+The ``sweep`` subcommand expands a declarative JSON grid (see
+``docs/RUNNER.md``) and executes it through the crash-tolerant parallel
+runner with a persistent result store, so interrupted sweeps resume from
+the last checkpoint when re-invoked.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.compare import comparison_table
+from repro.analysis.tables import format_table
+from repro.runner import RunSpec, SweepRunner, SweepSpec
 from repro.sim.cell import CellSimulation
 from repro.sim.config import SimConfig, TrafficSpec
 from repro.sim.metrics import SimResult
@@ -65,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="PATH", help="also write a JSON summary to PATH"
     )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="run --compare schedulers on N worker processes via the sweep "
+        "runner (1 = serial, today's behaviour; results are identical "
+        "either way)",
+    )
     telemetry = parser.add_argument_group("observability")
     telemetry.add_argument(
         "--telemetry",
@@ -104,6 +122,13 @@ def _positive_float(text: str) -> float:
     value = float(text)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive: {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1: {text}")
     return value
 
 
@@ -167,9 +192,72 @@ def _print_profile(result: SimResult, scheduler: str) -> None:
     print(f"  {'other':>12}: {profile['other_s']:8.3f}s")
 
 
+def _spec_from_args(args: argparse.Namespace, scheduler: str) -> RunSpec:
+    """The :class:`RunSpec` equivalent of :func:`config_from_args`."""
+    return RunSpec(
+        rat=args.rat,
+        scheduler=scheduler,
+        load=args.load,
+        seed=args.seed,
+        num_ues=args.ues,
+        duration_s=args.duration,
+        mu=args.mu,
+        mec=args.mec,
+        distribution=args.distribution,
+        overrides={"rlc_mode": args.rlc_mode, "radio_bler": args.bler},
+    )
+
+
+def _compare_parallel(args: argparse.Namespace, schedulers: Sequence[str]) -> int:
+    """--compare over the sweep runner: N workers, identical table output."""
+    specs = [_spec_from_args(args, name) for name in schedulers]
+    runner = SweepRunner(jobs=args.jobs, store=None, progress=sys.stderr)
+    outcome = runner.execute(specs).raise_on_failure()
+    results = {
+        name: outcome.get(spec) for name, spec in zip(schedulers, specs)
+    }
+    print(
+        comparison_table(
+            results,
+            title=f"{args.rat.upper()} load={args.load} ues={args.ues} "
+            f"duration={args.duration}s",
+            baseline=schedulers[0],
+        )
+    )
+    if args.json:
+        summaries = [result_summary(results[name]) for name in schedulers]
+        with open(args.json, "w") as handle:
+            json.dump(summaries, handle, indent=2)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
     schedulers = args.compare if args.compare else [args.scheduler]
+    if args.jobs > 1:
+        if not args.compare:
+            parser.error("--jobs requires --compare (or the sweep subcommand)")
+        incompatible = [
+            flag
+            for flag, value in (
+                ("--telemetry", args.telemetry),
+                ("--prometheus", args.prometheus),
+                ("--profile", args.profile),
+                ("--trace", args.trace),
+                ("--heartbeat", args.heartbeat),
+            )
+            if value
+        ]
+        if incompatible:
+            parser.error(
+                f"--jobs > 1 is incompatible with {', '.join(incompatible)} "
+                "(observability needs the simulation in-process; run serially)"
+            )
+        return _compare_parallel(args, schedulers)
     collect = bool(args.telemetry or args.prometheus)
     multi = len(schedulers) > 1
     summaries = []
@@ -220,6 +308,122 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.json, "w") as handle:
             json.dump(summaries if args.compare else summaries[0], handle, indent=2)
     return 0
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Expand a declarative sweep grid (schedulers x loads x "
+        "seeds x override variants) and execute it on a crash-tolerant "
+        "worker pool with a persistent, resumable result store.",
+    )
+    parser.add_argument(
+        "spec",
+        metavar="SPEC.json",
+        help="sweep specification (see docs/RUNNER.md for the format)",
+    )
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N")
+    parser.add_argument(
+        "--store",
+        default=".repro-store",
+        metavar="PATH",
+        help="result store directory; completed runs checkpoint here so a "
+        "re-invoked sweep resumes (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not persist results (disables checkpoint/resume)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write per-run JSON summaries (spec + metrics) to PATH",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=3,
+        metavar="K",
+        help="quarantine a run after K failed attempts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECS",
+        help="treat a worker as hung after SECS wall seconds and retry it",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress heartbeat lines"
+    )
+    return parser
+
+
+def sweep_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro sweep SPEC.json``: run a declarative sweep."""
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    try:
+        data = json.loads(Path(args.spec).read_text())
+        sweep = SweepSpec.from_dict(data)
+    except (OSError, ValueError, TypeError) as exc:
+        parser.error(f"bad sweep spec {args.spec!r}: {exc}")
+    specs = sweep.expand()
+    runner = SweepRunner(
+        jobs=args.jobs,
+        store=None if args.no_store else args.store,
+        max_attempts=args.max_attempts,
+        run_timeout_s=args.timeout,
+        progress=None if args.quiet else sys.stderr,
+        progress_period_s=10.0,
+    )
+    outcome = runner.execute(specs)
+
+    rows = []
+    summaries = []
+    for spec in specs:
+        result = outcome.get(spec)
+        if result is None:
+            failure = outcome.failures.get(spec.key())
+            rows.append([spec.scheduler, spec.load, spec.seed, "FAILED", "-", "-", "-"])
+            summaries.append(
+                {"spec": spec.canonical(), "error": failure.error if failure else "?"}
+            )
+            continue
+        rows.append(
+            [
+                spec.scheduler,
+                spec.load,
+                spec.seed,
+                f"{result.avg_fct_ms():.1f}",
+                f"{result.pctl_fct_ms(95, 'S'):.1f}",
+                f"{result.mean_se():.2f}",
+                f"{result.mean_fairness():.3f}",
+            ]
+        )
+        summaries.append({"spec": spec.canonical(), "metrics": result_summary(result)})
+    stats = outcome.stats
+    print(
+        format_table(
+            ["scheduler", "load", "seed", "avg FCT ms", "S p95 ms", "SE", "fairness"],
+            rows,
+            title=f"sweep {Path(args.spec).name}: {stats.total} runs "
+            f"({stats.store_hits} from store, {stats.executed} executed, "
+            f"{stats.retries} retries, {stats.quarantined} quarantined) "
+            f"in {stats.elapsed_s:.1f}s",
+        )
+    )
+    if args.out:
+        payload = {
+            "sweep": sweep.to_dict(),
+            "stats": stats.as_dict(),
+            "runs": summaries,
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+    for failure in outcome.failures.values():
+        print(f"[sweep] {failure}", file=sys.stderr)
+    return 1 if outcome.failures else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,80 @@
+"""Worker-side execution: the functions that run inside pool processes.
+
+Everything here is a module-level callable so it pickles cleanly into a
+``ProcessPoolExecutor``.  The contract shared by every worker function
+(and by the fault-injecting workers the tests supply) is::
+
+    worker(task, store_root: Optional[str]) -> (key: str, result: SimResult)
+
+where ``task`` is any picklable object with a ``.key()`` method.  When a
+store root is given the worker persists the result *before* returning,
+so a completed run survives even if the parent dies right after -- the
+store, not the pipe, is the checkpoint.
+
+Workers run the simulation *uninstrumented* (no telemetry registry, no
+profiler): observability never changes simulation results (asserted by
+the test suite), so store-served and freshly-simulated runs are
+interchangeable byte-for-byte in figure output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.cell import CellSimulation
+from repro.sim.config import SimConfig
+from repro.sim.metrics import SimResult
+from repro.runner.spec import RunSpec
+from repro.runner.store import ResultStore
+
+
+def execute_spec(spec: RunSpec) -> SimResult:
+    """Materialize and run one declaratively-specified simulation."""
+    cfg = spec.to_config()
+    sim = CellSimulation(cfg, scheduler=spec.scheduler)
+    return sim.run(spec.duration_s)
+
+
+def run_spec(spec: RunSpec, store_root: Optional[str] = None):
+    """Default pool worker: read-through the store, else simulate + persist."""
+    key = spec.key()
+    store = ResultStore(store_root) if store_root else None
+    if store is not None:
+        cached = store.get(key)
+        if cached is not None:
+            return key, cached
+    result = execute_spec(spec)
+    if store is not None:
+        store.put(key, result)
+    return key, result
+
+
+@dataclass(frozen=True)
+class ConfigTask:
+    """A run over an already-built :class:`SimConfig` (e.g. replications).
+
+    Arbitrary configs (custom scenarios, live objects) have no stable
+    content hash, so these tasks are keyed by position and never hit the
+    persistent store -- they exist so :func:`run_replications` and other
+    callers with in-memory configs can still fan out over the pool.
+    """
+
+    config: SimConfig
+    scheduler: str
+    duration_s: float
+    index: int
+
+    def key(self) -> str:
+        return f"cfg-{self.scheduler}-{self.config.seed}-{self.index}"
+
+    def label(self) -> str:
+        return f"{self.scheduler} seed={self.config.seed} #{self.index}"
+
+
+def run_config_task(task: ConfigTask, store_root: Optional[str] = None):
+    """Pool worker for :class:`ConfigTask` (store is intentionally unused)."""
+    result = CellSimulation(task.config, scheduler=task.scheduler).run(
+        task.duration_s
+    )
+    return task.key(), result

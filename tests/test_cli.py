@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, config_from_args, main, result_summary
+from repro.cli import (
+    build_parser,
+    build_sweep_parser,
+    config_from_args,
+    main,
+    result_summary,
+)
 
 
 class TestParser:
@@ -66,3 +72,89 @@ class TestMain:
         )
         data = json.loads(path.read_text())
         assert isinstance(data, list) and len(data) == 2
+
+
+COMPARE_ARGS = ["--compare", "pf", "outran", "--ues", "3", "--load", "0.4",
+                "--duration", "1"]
+
+
+class TestJobs:
+    def test_jobs_one_output_identical_to_serial(self, capsys):
+        assert main(COMPARE_ARGS) == 0
+        baseline = capsys.readouterr().out
+        assert main(COMPARE_ARGS + ["--jobs", "1"]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_jobs_parallel_output_identical_to_serial(self, tmp_path, capsys):
+        base_json = tmp_path / "base.json"
+        par_json = tmp_path / "par.json"
+        assert main(COMPARE_ARGS + ["--json", str(base_json)]) == 0
+        baseline = capsys.readouterr().out
+        assert main(COMPARE_ARGS + ["--jobs", "2", "--json", str(par_json)]) == 0
+        assert capsys.readouterr().out == baseline
+        assert json.loads(par_json.read_text()) == json.loads(base_json.read_text())
+
+    def test_jobs_requires_compare(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "2", "--ues", "3"])
+
+    def test_jobs_incompatible_with_observability(self):
+        with pytest.raises(SystemExit):
+            main(COMPARE_ARGS + ["--jobs", "2", "--profile"])
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--jobs", "0"])
+
+
+class TestSweepCommand:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "rat": "lte",
+            "schedulers": ["pf", "outran"],
+            "loads": [0.5],
+            "seeds": [1],
+            "num_ues": 2,
+            "duration_s": 0.4,
+        }))
+        return path
+
+    def test_sweep_runs_and_writes_summaries(self, spec_path, tmp_path, capsys):
+        out = tmp_path / "out.json"
+        rc = main(["sweep", str(spec_path), "--jobs", "2", "--quiet",
+                   "--store", str(tmp_path / "store"), "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "2 runs" in text and "pf" in text and "outran" in text
+        payload = json.loads(out.read_text())
+        assert len(payload["runs"]) == 2
+        assert payload["stats"]["executed"] == 2
+        assert all("metrics" in run for run in payload["runs"])
+
+    def test_sweep_resumes_from_store(self, spec_path, tmp_path, capsys):
+        store = tmp_path / "store"
+        args = ["sweep", str(spec_path), "--quiet", "--store", str(store)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "2 from store, 0 executed" in second
+        # The rendered metric rows are identical either way.
+        assert first.splitlines()[-2:] == second.splitlines()[-2:]
+
+    def test_sweep_no_store(self, spec_path, capsys):
+        assert main(["sweep", str(spec_path), "--quiet", "--no-store"]) == 0
+
+    def test_sweep_rejects_bad_spec(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schedulrs": ["pf"]}))
+        with pytest.raises(SystemExit):
+            main(["sweep", str(bad), "--quiet"])
+
+    def test_sweep_parser_defaults(self):
+        args = build_sweep_parser().parse_args(["spec.json"])
+        assert args.jobs == 1
+        assert args.store == ".repro-store"
+        assert args.max_attempts == 3

@@ -10,7 +10,23 @@ from repro.sim.replicate import (
     MetricSummary,
     run_replications,
     summarize,
+    t_critical_95,
 )
+
+
+class TestTCritical:
+    def test_small_df_values(self):
+        # Classic two-sided 95% table values.
+        assert t_critical_95(1) == pytest.approx(12.706, abs=1e-3)
+        assert t_critical_95(2) == pytest.approx(4.303, abs=1e-3)
+        assert t_critical_95(9) == pytest.approx(2.262, abs=1e-3)
+
+    def test_approaches_normal_quantile(self):
+        assert t_critical_95(1000) == pytest.approx(1.96, abs=0.005)
+
+    def test_df_must_be_positive(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
 
 
 class TestSummarize:
@@ -18,6 +34,13 @@ class TestSummarize:
         summary = summarize("x", [1.0, 2.0, 3.0])
         assert summary.mean == pytest.approx(2.0)
         assert summary.ci95 > 0
+
+    def test_ci_uses_student_t_not_normal(self):
+        # n=3: sem = 1/sqrt(3); the t interval is ~2.2x the normal one.
+        summary = summarize("x", [1.0, 2.0, 3.0])
+        sem = 1.0 / math.sqrt(3)
+        assert summary.ci95 == pytest.approx(t_critical_95(2) * sem)
+        assert summary.ci95 > 1.96 * sem * 2
 
     def test_nan_samples_dropped(self):
         summary = summarize("x", [1.0, float("nan"), 3.0])
@@ -82,3 +105,13 @@ class TestRunReplications:
             metrics={"flows": lambda r: float(r.completed_flows)},
         )
         assert report["flows"].mean > 0
+
+    def test_parallel_jobs_identical_to_serial(self):
+        cfg = SimConfig.lte_default(num_ues=2, load=0.5, seed=7)
+        serial = run_replications(cfg, "pf", replications=3, duration_s=0.5)
+        parallel = run_replications(
+            cfg, "pf", replications=3, duration_s=0.5, jobs=2
+        )
+        for name in serial.metrics:
+            assert parallel[name].samples == serial[name].samples
+        assert str(parallel) == str(serial)

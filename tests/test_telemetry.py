@@ -363,8 +363,19 @@ def load_harness():
 
 
 class TestHarnessCache:
-    def test_lru_eviction_keeps_cap(self):
+    """In-process LRU mechanics, with the persistent store disabled.
+
+    The disk-store read-through path is covered by tests/test_bench_harness.py.
+    """
+
+    @staticmethod
+    def load_lru_only_harness():
         harness = load_harness()
+        harness.STORE = None
+        return harness
+
+    def test_lru_eviction_keeps_cap(self):
+        harness = self.load_lru_only_harness()
         harness.CACHE_CAP = 3
         harness._cache.clear()
         for i in range(5):
@@ -373,7 +384,7 @@ class TestHarnessCache:
         assert list(harness._cache) == [("key", 2), ("key", 3), ("key", 4)]
 
     def test_get_refreshes_recency(self):
-        harness = load_harness()
+        harness = self.load_lru_only_harness()
         harness.CACHE_CAP = 2
         harness._cache.clear()
         harness._cache_put(("a",), object())
@@ -384,7 +395,7 @@ class TestHarnessCache:
         assert harness._cache_get(("b",)) is None
 
     def test_miss_returns_none(self):
-        harness = load_harness()
+        harness = self.load_lru_only_harness()
         assert harness._cache_get(("nope",)) is None
 
 
