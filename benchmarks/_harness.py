@@ -32,12 +32,18 @@ and phase profiler; ``record()`` writes a ``<name>.<mode>.telemetry.json``
 next to each figure's text output (telemetry never changes simulation
 results -- the test suite asserts this; prefetched runs execute
 uninstrumented in workers and contribute no counters).
+
+The overhead figures additionally feed ``record_bench()`` /
+``measure_overhead()``, which maintain the tracked perf trajectory in
+``BENCH_overhead.json`` at the repo root.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Sequence
@@ -50,6 +56,11 @@ from repro.telemetry import Profiler, TelemetryRegistry, snapshot_to_json
 QUICK = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Tracked perf trajectory.  The overhead benchmarks (fig13/fig14) merge
+#: their wall-clock/TTI-rate/profile numbers into this one JSON at the
+#: repo root, so each commit's diff shows how the numbers moved.
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_overhead.json"
 
 #: Default seeds/durations per mode (env overrides exist so CI smoke
 #: sweeps can run a real figure at toy scale).
@@ -292,6 +303,78 @@ def record(name: str, text: str) -> str:
     snapshot["profile"] = PROFILER.report()
     snapshot_to_json(snapshot, RESULTS_DIR / f"{name}.{mode}.telemetry.json")
     return text
+
+
+def measure_overhead(
+    scheduler: str,
+    load: float = 2.0,
+    num_ues: int = 20,
+    duration_s: float = 2.0,
+    seed: int = DEFAULT_SEED,
+    flow_trace: bool = False,
+    **overrides,
+) -> dict:
+    """Time one *uncached* LTE run end-to-end for the perf trajectory.
+
+    Deliberately bypasses both cache layers and uses a private profiler:
+    a cached result has no wall clock to measure, and the shared
+    ``PROFILER`` pools phase time across every figure in the suite.
+    Returns the wall seconds, simulated TTIs and events per wall second,
+    and the per-phase profile split -- the numbers
+    :func:`record_bench` tracks in ``BENCH_overhead.json``.
+    """
+    spec = _lte_spec(scheduler, load, num_ues, duration_s, seed, overrides)
+    profiler = Profiler()
+    sim = CellSimulation(
+        spec.to_config(),
+        scheduler=spec.scheduler,
+        telemetry=TELEMETRY,
+        profiler=profiler,
+        flow_trace=flow_trace,
+    )
+    start = time.perf_counter()
+    result = sim.run(spec.duration_s)
+    wall_s = time.perf_counter() - start
+    ttis = int(result.extra["ttis"])
+    events = int(result.extra["events"])
+    report = profiler.report()
+    return {
+        "scheduler": scheduler,
+        "num_ues": num_ues,
+        "duration_s": duration_s,
+        "flow_trace": flow_trace,
+        "flows_completed": len(result._c.records),
+        "wall_s": wall_s,
+        "ttis": ttis,
+        "ttis_per_s": ttis / wall_s if wall_s else float("nan"),
+        "events_per_s": events / wall_s if wall_s else float("nan"),
+        "profile_s": {
+            name: phase["seconds"]
+            for name, phase in report["phases"].items()
+        },
+        "profile_other_s": report["other_s"],
+    }
+
+
+def record_bench(name: str, payload: dict) -> dict:
+    """Merge one named entry into ``BENCH_overhead.json`` at the repo root.
+
+    The file is the tracked perf trajectory: each overhead benchmark
+    overwrites only its own entry, so a run of one figure never clobbers
+    the other's numbers and successive commits diff as that benchmark's
+    movement.
+    """
+    doc = {"schema": 1, "mode": "quick" if QUICK else "full", "entries": {}}
+    if BENCH_PATH.exists():
+        try:
+            previous = json.loads(BENCH_PATH.read_text())
+            if isinstance(previous.get("entries"), dict):
+                doc["entries"] = previous["entries"]
+        except ValueError:
+            pass  # corrupt trajectory file: start a fresh one
+    doc["entries"][name] = payload
+    BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return payload
 
 
 def once(benchmark, fn):

@@ -1,5 +1,11 @@
 """Result formatting and CDF helpers for the benchmark harness."""
 
+from repro.analysis.breakdown import (
+    aggregate_breakdowns,
+    breakdown_report,
+    breakdown_table,
+    slowest_table,
+)
 from repro.analysis.cdf import cdf_points, percentile_table
 from repro.analysis.compare import comparison_table, sweep_table
 from repro.analysis.io import load_results, result_to_dict, save_results
@@ -11,6 +17,10 @@ from repro.analysis.validation import (
 )
 
 __all__ = [
+    "aggregate_breakdowns",
+    "breakdown_report",
+    "breakdown_table",
+    "slowest_table",
     "cdf_points",
     "comparison_table",
     "sweep_table",

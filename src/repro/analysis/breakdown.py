@@ -1,0 +1,143 @@
+"""FCT-breakdown aggregation: the "why is p99 high" report.
+
+Consumes the per-flow :class:`~repro.telemetry.flowtrace.FlowBreakdown`
+records a traced run produces and aggregates them per size bucket (and,
+via ``repro explain``, per scheduler): mean/median/tail FCT next to the
+mean microseconds each layer contributed and its share of the total.
+Because the components are additive (they sum exactly to each flow's
+FCT), the per-bucket component means sum to the bucket's mean FCT -- the
+table reads as a complete account of where the time went.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.telemetry.flowtrace import COMPONENTS, FlowBreakdown
+
+#: Bucket display order (matches the paper's S/M/L split).
+BUCKET_ORDER = ("S", "M", "L")
+
+
+def aggregate_breakdowns(
+    breakdowns: Sequence[FlowBreakdown],
+) -> dict[str, dict]:
+    """Per-bucket aggregate: FCT stats + mean per-component microseconds.
+
+    Returns ``{bucket: {"n", "mean_fct_us", "p50_fct_us", "p95_fct_us",
+    "p99_fct_us", "components_us": {name: mean}, "shares": {name:
+    fraction}, "tcp_retx", "rlc_drops", "harq_retx"}}`` for every
+    non-empty bucket, plus an ``"all"`` entry over every flow.
+    """
+    groups: dict[str, list[FlowBreakdown]] = {}
+    for b in breakdowns:
+        groups.setdefault(b.bucket, []).append(b)
+    if breakdowns:
+        groups["all"] = list(breakdowns)
+    out: dict[str, dict] = {}
+    for bucket, flows in groups.items():
+        fcts = np.array([b.fct_us for b in flows], dtype=float)
+        comp_means = {
+            name: float(np.mean([b.components()[name] for b in flows]))
+            for name in COMPONENTS
+        }
+        mean_fct = float(fcts.mean())
+        out[bucket] = {
+            "n": len(flows),
+            "mean_fct_us": mean_fct,
+            "p50_fct_us": float(np.percentile(fcts, 50)),
+            "p95_fct_us": float(np.percentile(fcts, 95)),
+            "p99_fct_us": float(np.percentile(fcts, 99)),
+            "components_us": comp_means,
+            "shares": {
+                name: (value / mean_fct if mean_fct else 0.0)
+                for name, value in comp_means.items()
+            },
+            "tcp_retx": sum(b.tcp_retx for b in flows),
+            "rlc_drops": sum(b.rlc_drops for b in flows),
+            "harq_retx": sum(b.harq_retx for b in flows),
+        }
+    return out
+
+
+def breakdown_table(
+    breakdowns: Sequence[FlowBreakdown], title: str = ""
+) -> str:
+    """Per-bucket table: FCT stats and each layer's mean contribution."""
+    agg = aggregate_breakdowns(breakdowns)
+    headers = ["bucket", "n", "avg FCT ms", "p95 ms", "p99 ms"] + [
+        f"{name} ms" for name in COMPONENTS
+    ]
+    rows = []
+    for bucket in (*BUCKET_ORDER, "all"):
+        stats = agg.get(bucket)
+        if stats is None:
+            continue
+        rows.append(
+            [
+                bucket,
+                stats["n"],
+                stats["mean_fct_us"] / 1e3,
+                stats["p95_fct_us"] / 1e3,
+                stats["p99_fct_us"] / 1e3,
+                *(stats["components_us"][name] / 1e3 for name in COMPONENTS),
+            ]
+        )
+    if not rows:
+        return (title + "\n" if title else "") + "(no completed flows traced)"
+    return format_table(headers, rows, title=title)
+
+
+def dominant_component(breakdown: FlowBreakdown) -> str:
+    """The layer that contributed the most to one flow's FCT."""
+    return max(COMPONENTS, key=lambda name: breakdown.components()[name])
+
+
+def slowest_table(
+    breakdowns: Sequence[FlowBreakdown], top: int = 5, title: str = ""
+) -> str:
+    """The ``top`` slowest flows with their per-layer attribution.
+
+    This is the per-flow "why is p99 high" view: each row names the
+    dominant layer so a pathological tail is immediately attributable.
+    """
+    worst = sorted(breakdowns, key=lambda b: b.fct_us, reverse=True)[:top]
+    if not worst:
+        return (title + "\n" if title else "") + "(no completed flows traced)"
+    headers = ["flow", "UE", "bucket", "KB", "FCT ms", "dominant"] + [
+        f"{name} ms" for name in COMPONENTS
+    ]
+    rows = [
+        [
+            b.flow_id,
+            b.ue_index,
+            b.bucket,
+            b.size_bytes / 1e3,
+            b.fct_us / 1e3,
+            dominant_component(b),
+            *(b.components()[name] / 1e3 for name in COMPONENTS),
+        ]
+        for b in worst
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def breakdown_report(
+    breakdowns: Sequence[FlowBreakdown],
+    scheduler: Optional[str] = None,
+    top: int = 5,
+) -> str:
+    """The full ``repro explain`` report for one run."""
+    label = f" [{scheduler}]" if scheduler else ""
+    sections = [
+        breakdown_table(
+            breakdowns, title=f"FCT breakdown per size bucket{label}"
+        ),
+        slowest_table(
+            breakdowns, top=top, title=f"slowest {top} flows{label}"
+        ),
+    ]
+    return "\n\n".join(sections)

@@ -8,12 +8,20 @@ Examples::
     python -m repro --compare pf outran srjf --load 0.9 --jobs 3
     python -m repro --scheduler outran --telemetry out.telemetry.json --profile
     python -m repro --scheduler outran --trace trace.npz --heartbeat 1
+    python -m repro --scheduler outran --flow-trace flows.trace.json
+    python -m repro explain --scheduler pf outran --load 0.9 --duration 4
     python -m repro sweep sweep.json --jobs 4 --out results.json
 
 The ``sweep`` subcommand expands a declarative JSON grid (see
 ``docs/RUNNER.md``) and executes it through the crash-tolerant parallel
 runner with a persistent result store, so interrupted sweeps resume from
 the last checkpoint when re-invoked.
+
+The ``explain`` subcommand runs with flow tracing enabled and prints the
+per-layer FCT breakdown report (see ``docs/OBSERVABILITY.md``): where
+each size bucket's completion time is spent -- TCP dynamics, core
+transport, PDCP, MAC scheduling wait, RLC buffering, HARQ recovery, air
+time -- plus the slowest individual flows with their dominant layer.
 """
 
 from __future__ import annotations
@@ -114,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_float,
         metavar="SECS",
         help="print a run-health line to stderr every SECS of sim time",
+    )
+    telemetry.add_argument(
+        "--flow-trace",
+        metavar="PATH",
+        help="trace every flow's lifecycle across the stack and save a "
+        "Chrome trace-event JSON (open in Perfetto / chrome://tracing)",
     )
     return parser
 
@@ -235,6 +249,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     schedulers = args.compare if args.compare else [args.scheduler]
@@ -249,6 +265,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--profile", args.profile),
                 ("--trace", args.trace),
                 ("--heartbeat", args.heartbeat),
+                ("--flow-trace", args.flow_trace),
             )
             if value
         ]
@@ -269,6 +286,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scheduler=name,
             telemetry=TelemetryRegistry() if collect else None,
             profiler=Profiler() if args.profile else None,
+            flow_trace=bool(args.flow_trace),
         )
         if args.trace:
             sim.enable_trace()
@@ -281,6 +299,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(result.fct_summary())
         if args.trace:
             sim.enb.trace.save_npz(_per_scheduler_path(args.trace, name, multi))
+        if args.flow_trace:
+            sim.flow_trace.save_chrome_trace(
+                _per_scheduler_path(args.flow_trace, name, multi)
+            )
         if args.telemetry and args.telemetry != "-":
             snapshot_to_json(
                 result.telemetry,
@@ -307,6 +329,85 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(summaries if args.compare else summaries[0], handle, indent=2)
+    return 0
+
+
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Run with flow tracing enabled and report where each "
+        "size bucket's FCT is spent: per-layer breakdown (TCP / core / "
+        "PDCP / MAC wait / RLC / HARQ / air) plus the slowest flows with "
+        "their dominant layer.",
+    )
+    parser.add_argument(
+        "--scheduler",
+        nargs="+",
+        default=["outran"],
+        metavar="SCHED",
+        help="scheduler(s) to explain on the identical workload "
+        "(default: %(default)s)",
+    )
+    parser.add_argument("--rat", choices=("lte", "nr"), default="lte")
+    parser.add_argument("--mu", type=int, default=1, help="NR numerology (nr only)")
+    parser.add_argument("--mec", action="store_true", help="edge server (nr only)")
+    parser.add_argument("--ues", type=int, default=40)
+    parser.add_argument("--load", type=float, default=0.8)
+    parser.add_argument("--distribution", default=None)
+    parser.add_argument("--duration", type=float, default=8.0, help="seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rlc-mode", choices=("um", "am"), default="um")
+    parser.add_argument("--bler", type=float, default=0.0)
+    parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=5,
+        metavar="N",
+        help="how many slowest flows to attribute (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--perfetto",
+        metavar="PATH",
+        help="also save the Chrome trace-event JSON to PATH "
+        "(per-scheduler suffix with several schedulers)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the per-flow breakdowns and per-bucket aggregates "
+        "as JSON to PATH",
+    )
+    return parser
+
+
+def explain_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro explain``: per-layer FCT attribution report."""
+    from repro.analysis.breakdown import aggregate_breakdowns, breakdown_report
+
+    parser = build_explain_parser()
+    args = parser.parse_args(argv)
+    schedulers = args.scheduler
+    multi = len(schedulers) > 1
+    reports = []
+    payload = {}
+    for name in schedulers:
+        cfg = config_from_args(args)
+        sim = CellSimulation(cfg, scheduler=name, flow_trace=True)
+        sim.run(duration_s=args.duration)
+        breakdowns = sim.flow_trace.breakdowns()
+        reports.append(breakdown_report(breakdowns, scheduler=name, top=args.top))
+        if args.perfetto:
+            sim.flow_trace.save_chrome_trace(
+                _per_scheduler_path(args.perfetto, name, multi)
+            )
+        if args.json:
+            payload[name] = {
+                "aggregates": aggregate_breakdowns(breakdowns),
+                "flows": [b.as_dict() for b in breakdowns],
+            }
+    print("\n\n".join(reports))
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
     return 0
 
 

@@ -58,6 +58,8 @@ class HarqEntity:
         rtt_us: int,
         max_retx: int = DEFAULT_MAX_RETX,
         combining_gain: float = DEFAULT_COMBINING_GAIN,
+        ue_id: int = -1,
+        tracer=None,
     ) -> None:
         if rtt_us <= 0:
             raise ValueError(f"HARQ RTT must be positive: {rtt_us}")
@@ -69,6 +71,9 @@ class HarqEntity:
         self.rtt_us = rtt_us
         self.max_retx = max_retx
         self.combining_gain = combining_gain
+        self.ue_id = ue_id
+        #: Flow-lifecycle tracer (None keeps failure/retx paths emit-free).
+        self.tracer = tracer
         self._pending: deque[HarqProcess] = deque()
         self.retransmissions = 0
         self.abandoned = 0
@@ -83,6 +88,8 @@ class HarqEntity:
         With ``max_retx == 0`` the block is abandoned immediately
         (HARQ disabled at the process level) and None is returned.
         """
+        if self.tracer is not None:
+            self.tracer.on_harq_failure(self.ue_id, tb_bytes, now_us)
         if self.max_retx == 0:
             self.abandoned += 1
             return None
@@ -115,7 +122,12 @@ class HarqEntity:
             raise ValueError("process is not pending")
         self.retransmissions += 1
         process.next_attempt(self.combining_gain)
-        if self._rng.random() >= process.error_prob:
+        decoded = bool(self._rng.random() >= process.error_prob)
+        if self.tracer is not None:
+            self.tracer.on_harq_attempt(
+                self.ue_id, _flow_ids(process.items), decoded, now_us
+            )
+        if decoded:
             self._pending.remove(process)
             return True
         if process.attempts > self.max_retx:
@@ -124,3 +136,12 @@ class HarqEntity:
         else:
             process.due_us = now_us + self.rtt_us
         return False
+
+
+def _flow_ids(items: Sequence) -> set[int]:
+    """Distinct flow ids carried by a transport block's RLC PDUs."""
+    return {
+        segment.sdu.packet.flow_id
+        for item in items
+        for segment in getattr(item, "segments", ())
+    }

@@ -39,6 +39,7 @@ class UeSchedState:
         "remaining_flow_bytes",
         "qos_deadline_flows",
         "qos_hol_delay_us",
+        "backlog_since_us",
     )
 
     def __init__(self, index: int, ue_id: int) -> None:
@@ -55,6 +56,11 @@ class UeSchedState:
         #: and the head-of-line delay of the oldest one (PSS/CQA only).
         self.qos_deadline_flows = 0
         self.qos_hol_delay_us = 0
+        #: When the UE's current backlog episode began (or the time of its
+        #: last grant within it).  Maintained by the xNodeB only while a
+        #: flow tracer is attached -- nothing in the scheduling path reads
+        #: it, so tracing cannot change allocation decisions.
+        self.backlog_since_us: Optional[int] = None
 
     @property
     def active(self) -> bool:

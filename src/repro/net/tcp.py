@@ -24,10 +24,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.packet import DEFAULT_MSS, FiveTuple, Packet
 from repro.sim.engine import Event, EventEngine
+
+if TYPE_CHECKING:
+    from repro.telemetry.flowtrace import FlowTracer
 
 INITIAL_CWND_SEGMENTS = 10
 MIN_RTO_US = 200_000
@@ -84,6 +87,7 @@ class TcpFlow:
         min_rto_us: int = MIN_RTO_US,
         initial_cwnd_segments: int = INITIAL_CWND_SEGMENTS,
         on_sender_done: Optional[Callable[["TcpFlow", int], None]] = None,
+        tracer: Optional["FlowTracer"] = None,
     ) -> None:
         if size_bytes <= 0:
             raise ValueError(f"flow size must be positive: {size_bytes}")
@@ -95,6 +99,8 @@ class TcpFlow:
         self.mss = mss
         self.min_rto_us = min_rto_us
         self.on_sender_done = on_sender_done
+        #: Flow-lifecycle tracer (None keeps the send path emit-free).
+        self.tracer = tracer
 
         self.start_us = engine.now_us
         self.snd_una = 0  # lowest unacknowledged byte
@@ -185,6 +191,8 @@ class TcpFlow:
             self.retransmits += 1
         self.max_sent = max(self.max_sent, seq + length)
         self.packets_sent += 1
+        if self.tracer is not None:
+            self.tracer.on_tcp_tx(self.flow_id, packet, self.engine.now_us)
         self.route_data(packet)
 
     # -- ACK processing ------------------------------------------------------
@@ -304,6 +312,8 @@ class TcpFlow:
                 self.cwnd_bytes += 0.01 * newly_acked  # TCP-friendly floor
 
     def _fast_retransmit(self, now_us: int) -> None:
+        if self.tracer is not None:
+            self.tracer.on_tcp_recovery(self.flow_id, now_us)
         self.recovery_point = self.snd_nxt
         self.cwnd_bytes = self.cubic.enter_recovery(self.cwnd_bytes)
         self._retx_time.clear()
@@ -353,6 +363,8 @@ class TcpFlow:
             return
         self._rto_event = None
         self.rto_firings += 1
+        if self.tracer is not None:
+            self.tracer.on_tcp_rto(self.flow_id, self.engine.now_us)
         self.cubic.ssthresh_bytes = max(self.cwnd_bytes / 2.0, 2.0 * self.mss)
         self.cubic.w_max_bytes = self.cwnd_bytes
         self.cubic.epoch_start_us = None

@@ -49,6 +49,8 @@ class PdcpEntity:
         self.delayed_sn = delayed_sn
         self._ingress_sn = 0  # counter advanced at ingress (eager mode)
         self._tx_sn = 0  # counter advanced at PDU build (delayed mode)
+        #: Flow-lifecycle tracer (None keeps ingress emit-free).
+        self.tracer = None
 
     def ingress(self, packet: Packet, now_us: int) -> tuple[int, Optional[int]]:
         """Inspect a downlink packet; return ``(mlfq_level, eager_sn)``.
@@ -59,6 +61,8 @@ class PdcpEntity:
         level = self.flow_table.observe(
             packet.five_tuple, packet.payload_bytes, now_us
         )
+        if self.tracer is not None:
+            self.tracer.on_pdcp_ingress(packet, level, now_us)
         if self.delayed_sn:
             return level, None
         sn = self._ingress_sn

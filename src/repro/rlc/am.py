@@ -148,6 +148,8 @@ class AmTransmitter:
             retx = RlcPdu(segments=entry.pdu.segments, sn=sn, is_retx=True)
             out.append(retx)
             self.retx_transmissions += 1
+            if self._tx.tracer is not None:
+                self._tx.tracer.on_rlc_am_retx(self.ue_id, sn, now_us)
         if budget > RLC_HEADER_BYTES + MIN_SEGMENT_BYTES:
             pdu = self._tx.build_pdu(budget, now_us)
             if pdu is not None:
@@ -216,6 +218,15 @@ class AmTransmitter:
     def boost_priorities(self) -> None:
         """Priority reset passthrough to the Tx Q."""
         self._tx.boost_priorities()
+
+    @property
+    def tracer(self):
+        """Flow-lifecycle tracer (lives on the inner Tx entity)."""
+        return self._tx.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tx.tracer = value
 
     @property
     def tx_queue(self):

@@ -35,6 +35,8 @@ class TmTransmitter:
         self.capacity_sdus = capacity_sdus
         self._queue: deque[RlcSdu] = deque()
         self._on_sdu_dropped = on_sdu_dropped
+        #: Flow-lifecycle tracer (None keeps enqueue/build emit-free).
+        self.tracer = None
         self.sdus_dropped = 0
         self.sdus_sent = 0
 
@@ -44,9 +46,13 @@ class TmTransmitter:
             self.sdus_dropped += 1
             if self._on_sdu_dropped is not None:
                 self._on_sdu_dropped(RlcSdu(packet, enqueued_us=now_us))
+            if self.tracer is not None:
+                self.tracer.on_rlc_drop(packet, now_us)
             return None
         sdu = RlcSdu(packet, enqueued_us=now_us)
         self._queue.append(sdu)
+        if self.tracer is not None:
+            self.tracer.on_rlc_enqueue(sdu, now_us)
         return sdu
 
     def build_pdu(self, grant_bytes: int, now_us: int) -> Optional[RlcPdu]:
@@ -59,6 +65,10 @@ class TmTransmitter:
             sdu.sent_bytes = sdu.size
             pdu.segments.append(SduSegment(sdu=sdu, offset=0, length=sdu.size))
             self.sdus_sent += 1
+            if self.tracer is not None:
+                # TM ships whole SDUs: first and last byte leave together.
+                self.tracer.on_rlc_first_tx(sdu, now_us)
+                self.tracer.on_rlc_last_tx(sdu, now_us)
         return pdu if pdu else None
 
     def buffer_status(self, now_us: int) -> BufferStatusReport:

@@ -58,6 +58,8 @@ class UmTransmitter:
         #: Fired when an SDU's first byte enters a PDU -- the point where
         #: OutRAN performs delayed PDCP SN numbering & ciphering (Fig. 10).
         self._on_sdu_first_tx = on_sdu_first_tx
+        #: Flow-lifecycle tracer (None keeps enqueue/build emit-free).
+        self.tracer = None
         self.sdus_dropped = 0
         self.sdus_sent = 0
         self.pdus_built = 0
@@ -81,16 +83,23 @@ class UmTransmitter:
             ):
                 victim = self.queue.drop_tail()
                 self.sdus_dropped += 1
-                if victim is not None and self._on_sdu_dropped is not None:
-                    self._on_sdu_dropped(victim[0])
+                if victim is not None:
+                    if self._on_sdu_dropped is not None:
+                        self._on_sdu_dropped(victim[0])
+                    if self.tracer is not None:
+                        self.tracer.on_rlc_drop(victim[0].packet, now_us)
             else:
                 self.sdus_dropped += 1
                 if self._on_sdu_dropped is not None:
                     dropped = RlcSdu(packet, level=level, enqueued_us=now_us)
                     self._on_sdu_dropped(dropped)
+                if self.tracer is not None:
+                    self.tracer.on_rlc_drop(packet, now_us)
                 return None
         sdu = RlcSdu(packet, level=level, enqueued_us=now_us)
         self.queue.push(sdu, sdu.size, level)
+        if self.tracer is not None:
+            self.tracer.on_rlc_enqueue(sdu, now_us)
         return sdu
 
     def build_pdu(self, grant_bytes: int, now_us: int) -> Optional[RlcPdu]:
@@ -109,8 +118,11 @@ class UmTransmitter:
                 break
             self.queue.pop()
             segment = SduSegment(sdu=sdu, offset=sdu.sent_bytes, length=take)
-            if segment.is_first and self._on_sdu_first_tx is not None:
-                self._on_sdu_first_tx(sdu)
+            if segment.is_first:
+                if self._on_sdu_first_tx is not None:
+                    self._on_sdu_first_tx(sdu)
+                if self.tracer is not None:
+                    self.tracer.on_rlc_first_tx(sdu, now_us)
             sdu.sent_bytes += take
             pdu.segments.append(segment)
             self.segments_sent += 1
@@ -124,6 +136,8 @@ class UmTransmitter:
                     self.queue.push_front(sdu, sdu.remaining, sdu.level)
                 break
             self.sdus_sent += 1
+            if self.tracer is not None:
+                self.tracer.on_rlc_last_tx(sdu, now_us)
             if self._on_sdu_dequeued is not None:
                 self._on_sdu_dequeued(sdu, now_us - sdu.enqueued_us)
         if pdu:

@@ -40,6 +40,7 @@ from repro.sim.enb import XNodeB
 from repro.sim.metrics import FctRecord, MetricsCollector, SimResult
 from repro.sim.trace import SchedulingTrace
 from repro.sim.ue import FlowRuntime, UeContext
+from repro.telemetry.flowtrace import FlowTracer, coerce_flow_tracer
 from repro.telemetry.heartbeat import Heartbeat
 from repro.telemetry.profiler import Profiler, coerce_profiler
 from repro.telemetry.registry import TelemetryRegistry, coerce_registry
@@ -106,6 +107,7 @@ class CellSimulation:
         flows: Optional[Sequence[FlowSpec]] = None,
         telemetry: Union[TelemetryRegistry, bool, None] = None,
         profiler: Union[Profiler, bool, None] = None,
+        flow_trace: Union[FlowTracer, bool, None] = None,
     ) -> None:
         self.config = config
         self.engine = EventEngine()
@@ -114,6 +116,11 @@ class CellSimulation:
         self.telemetry = coerce_registry(telemetry)
         #: Wall-clock phase profiler (``True`` creates a fresh one).
         self.profiler = coerce_profiler(profiler)
+        #: Per-flow lifecycle tracer (``True`` creates a fresh one; the
+        #: default None leaves every emit point behind an ``is not None``
+        #: guard, so untraced runs execute the identical instruction
+        #: stream).
+        self.flow_trace = coerce_flow_tracer(flow_trace, config.air_delay_us)
         self._sec_tcp = self.profiler.section("tcp")
         self._sec_phy = self.profiler.section("phy")
         self._heartbeat: Optional[Heartbeat] = None
@@ -157,6 +164,15 @@ class CellSimulation:
         self._flow_sizes: dict[int, int] = {}
         self._provided_flows = list(flows) if flows is not None else None
         self._completion_hooks: dict[int, Callable[[int], None]] = {}
+        if self.flow_trace is not None:
+            self._wire_flow_trace()
+
+    def _wire_flow_trace(self) -> None:
+        """Point every layer's emit hooks at the attached tracer."""
+        tracer = self.flow_trace
+        for ue in self.ues:
+            ue.attach_flow_tracer(tracer)
+        self.enb.attach_flow_tracer(tracer)
 
     # -- capacity ----------------------------------------------------------
 
@@ -224,6 +240,8 @@ class CellSimulation:
 
     def _start_flow_inner(self, spec: FlowSpec) -> None:
         ue = self.ues[spec.ue_index]
+        if self.flow_trace is not None:
+            self.flow_trace.on_flow_start(spec, self.engine.now_us)
         port_key = spec.connection if spec.connection is not None else spec.flow_id
         five_tuple = FiveTuple(
             src_ip=SERVER_IP,
@@ -249,6 +267,7 @@ class CellSimulation:
             min_rto_us=self.config.tcp_min_rto_us,
             initial_cwnd_segments=self.config.tcp_initial_cwnd,
             on_sender_done=self._on_sender_done,
+            tracer=self.flow_trace,
         )
         runtime = FlowRuntime(spec, sender, receiver)
         self._runtimes[spec.flow_id] = runtime
@@ -301,6 +320,8 @@ class CellSimulation:
             )
         )
         self.ues[spec.ue_index].active_runtimes.pop(spec.flow_id, None)
+        if self.flow_trace is not None:
+            self.flow_trace.on_flow_complete(spec.flow_id, now_us)
         hook = self._completion_hooks.pop(spec.flow_id, None)
         if hook is not None:
             hook(now_us)
@@ -319,7 +340,13 @@ class CellSimulation:
         )
         packet = ue.pdcp_rx.receive(pdu)
         if packet is None:
+            if self.flow_trace is not None:
+                self.flow_trace.on_pdcp_decipher_failure(ue.index, now_us)
             return
+        if self.flow_trace is not None:
+            # Before on_data: completion fires synchronously inside it, and
+            # the tracer must know which leg finished the flow.
+            self.flow_trace.on_delivery(packet, now_us)
         receiver = ue.receivers.get(packet.flow_id)
         if receiver is not None:
             receiver.on_data(packet, now_us)
@@ -378,6 +405,11 @@ class CellSimulation:
                 "tbs_lost": self.enb.tbs_lost,
             },
             telemetry=self.telemetry_snapshot(),
+            flow_breakdowns=(
+                self.flow_trace.breakdowns()
+                if self.flow_trace is not None
+                else None
+            ),
         )
 
     def _on_cqi_update(self) -> None:
@@ -401,6 +433,21 @@ class CellSimulation:
     def enable_trace(self) -> SchedulingTrace:
         """Record per-TTI scheduling decisions (see ``repro.sim.trace``)."""
         return self.enb.enable_trace()
+
+    def enable_flow_trace(self) -> FlowTracer:
+        """Attach a flow-lifecycle tracer (see ``repro.telemetry.flowtrace``).
+
+        Call before :meth:`run`.  The tracer records span events as each
+        flow crosses TCP/PDCP/RLC/MAC/HARQ/air, decomposes every completed
+        flow's FCT into per-layer components
+        (:meth:`~repro.telemetry.flowtrace.FlowTracer.breakdowns`), and
+        exports a Chrome trace-event document
+        (:meth:`~repro.telemetry.flowtrace.FlowTracer.save_chrome_trace`).
+        """
+        if self.flow_trace is None:
+            self.flow_trace = FlowTracer(air_delay_us=self.config.air_delay_us)
+            self._wire_flow_trace()
+        return self.flow_trace
 
     def attach_heartbeat(
         self,
@@ -432,6 +479,11 @@ class CellSimulation:
             trace = self.enb.trace
             heartbeat.add_source(
                 "trace_mb", lambda: trace.memory_bytes() / 1e6
+            )
+        if self.flow_trace is not None:
+            tracer = self.flow_trace
+            heartbeat.add_source(
+                "flowtrace_events", lambda: tracer.memory_events()
             )
         self._heartbeat = heartbeat
         return heartbeat
@@ -536,3 +588,12 @@ class CellSimulation:
         reg.gauge("sim.flows_active").set(
             sum(len(ue.active_runtimes) for ue in self.ues)
         )
+        # flow tracing --------------------------------------------------
+        if self.flow_trace is not None:
+            reg.counter("flowtrace.flows_decomposed").inc(
+                self.flow_trace.completed_flows
+            )
+            reg.counter("flowtrace.incomplete_flows").inc(
+                self.flow_trace.incomplete_flows
+            )
+            reg.gauge("flowtrace.events").set(self.flow_trace.event_count)

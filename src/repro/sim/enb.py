@@ -36,6 +36,7 @@ from repro.sim.engine import EventEngine
 from repro.sim.metrics import MetricsCollector
 from repro.sim.trace import SchedulingTrace
 from repro.sim.ue import UeContext
+from repro.telemetry.flowtrace import FlowTracer
 from repro.telemetry.profiler import Profiler, coerce_profiler
 from repro.telemetry.registry import TelemetryRegistry, coerce_registry
 
@@ -87,11 +88,14 @@ class XNodeB:
                     np.random.default_rng(rng.integers(2**63)),
                     rtt_us=config.harq_rtt_ttis * config.tti_us,
                     max_retx=config.harq_max_retx,
+                    ue_id=ue.index,
                 )
-                for _ in self.ues
+                for ue in self.ues
             ]
         else:
             self._harq = None
+        #: Optional flow-lifecycle tracer (attach via attach_flow_tracer()).
+        self._flowtrace: FlowTracer | None = None
         qos_types = (PssScheduler, CqaScheduler, MlwdfScheduler, ExpPfScheduler)
         self._qos_oracle = config.qos_oracle or isinstance(
             getattr(scheduler, "legacy", scheduler), qos_types
@@ -123,6 +127,13 @@ class XNodeB:
             )
         return self.trace
 
+    def attach_flow_tracer(self, tracer: FlowTracer) -> None:
+        """Route MAC/HARQ flow-lifecycle events to ``tracer``."""
+        self._flowtrace = tracer
+        if self._harq is not None:
+            for harq in self._harq:
+                harq.tracer = tracer
+
     # -- channel ------------------------------------------------------------
 
     def refresh_rates(self) -> None:
@@ -137,6 +148,8 @@ class XNodeB:
         """PDCP header inspection + RLC enqueue for a downlink packet."""
         ue = self.ues[ue_index]
         now = self.engine.now_us
+        if self._flowtrace is not None:
+            self._flowtrace.on_enb_ingress(packet, now)
         level, eager_sn = ue.pdcp.ingress(packet, now)
         sdu = ue.rlc.write_sdu(packet, level, now)
         # Drops are tallied from the RLC counters at harvest time.
@@ -165,10 +178,13 @@ class XNodeB:
                     )
                 ue.sched.bsr = bsr
                 backlogged.append(ue.index)
+                if self._flowtrace is not None and ue.sched.backlog_since_us is None:
+                    ue.sched.backlog_since_us = now
                 if self._needs_oracle:
                     ue.refresh_oracle(now, self._qos_oracle)
             elif ue.sched.bsr.has_data:
                 ue.sched.bsr = self._empty_reports[ue.index]
+                ue.sched.backlog_since_us = None
         served_bits = np.zeros(len(self.ues))
         owner = None
         grant_bits = np.zeros(len(self.ues))
@@ -213,6 +229,16 @@ class XNodeB:
                         )
                 with self._sec_rlc:
                     for ue_index in np.nonzero(grant_bits)[0]:
+                        if self._flowtrace is not None:
+                            sched = self._sched_states[ue_index]
+                            since = sched.backlog_since_us
+                            self._flowtrace.on_mac_grant(
+                                int(ue_index),
+                                int(grant_bits[ue_index]),
+                                now - since if since is not None else 0,
+                                now,
+                            )
+                            sched.backlog_since_us = now
                         self._serve_ue(
                             self.ues[ue_index],
                             int(grant_bits[ue_index]) // 8,

@@ -16,10 +16,14 @@ The paper's metrics (section 6):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.telemetry.flowtrace import FlowBreakdown
 
 SHORT_MAX_BYTES = 10_000
 MEDIUM_MAX_BYTES = 100_000
@@ -168,6 +172,7 @@ class SimResult:
         flow_sizes: Optional[dict[int, int]] = None,
         extra: Optional[dict] = None,
         telemetry: Optional[dict] = None,
+        flow_breakdowns: Optional[list["FlowBreakdown"]] = None,
     ) -> None:
         self._c = collector
         self.duration_s = duration_s
@@ -179,6 +184,10 @@ class SimResult:
         #: of the summary accessors so instrumented and plain runs report
         #: identical simulation results.
         self.telemetry = telemetry
+        #: Per-flow FCT breakdowns from the flow tracer (None when tracing
+        #: was off).  Also kept out of the summary accessors: a traced and
+        #: an untraced same-seed run report identical simulation results.
+        self.flow_breakdowns = flow_breakdowns
 
     # -- FCT ------------------------------------------------------------------
 
@@ -193,13 +202,35 @@ class SimResult:
         ]
         return np.asarray(values, dtype=float)
 
+    def _warn_if_no_records(self) -> None:
+        """Zero completed flows: FCT statistics are NaN by definition.
+
+        A per-bucket query with an empty bucket stays silent -- mixed
+        workloads legitimately miss buckets; a run that completed nothing
+        at all is almost always a misconfiguration (duration too short,
+        load zero) worth flagging.
+        """
+        if not self._c.records:
+            warnings.warn(
+                f"run [{self.scheduler_name}] completed no flows; "
+                "FCT statistics are NaN",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def avg_fct_ms(self, bucket: Optional[str] = None) -> float:
         values = self.fcts_ms(bucket)
-        return float(values.mean()) if values.size else float("nan")
+        if not values.size:
+            self._warn_if_no_records()
+            return float("nan")
+        return float(values.mean())
 
     def pctl_fct_ms(self, percentile: float, bucket: Optional[str] = None) -> float:
         values = self.fcts_ms(bucket)
-        return float(np.percentile(values, percentile)) if values.size else float("nan")
+        if not values.size:
+            self._warn_if_no_records()
+            return float("nan")
+        return float(np.percentile(values, percentile))
 
     @property
     def completed_flows(self) -> int:

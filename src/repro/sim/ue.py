@@ -109,6 +109,11 @@ class UeContext:
         self.receivers: dict[int, "TcpReceiver"] = {}
         self.active_runtimes: dict[int, FlowRuntime] = {}
 
+    def attach_flow_tracer(self, tracer) -> None:
+        """Route this UE's PDCP/RLC flow-lifecycle events to ``tracer``."""
+        self.pdcp.tracer = tracer
+        self.rlc.tracer = tracer
+
     @property
     def is_am(self) -> bool:
         return isinstance(self.rlc, AmTransmitter)

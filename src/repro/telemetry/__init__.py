@@ -13,6 +13,10 @@ The subsystem has four pieces, all dependency-free:
   Prometheus-style text exposition.
 * :mod:`repro.telemetry.heartbeat` -- a periodic run-health line (sim
   time, events/s, active flows, trace memory) for long runs.
+* :mod:`repro.telemetry.flowtrace` -- a span-based per-flow lifecycle
+  tracer decomposing each completed flow's FCT into additive per-layer
+  components (TCP / core / PDCP / MAC wait / RLC / HARQ / air), with a
+  Chrome trace-event exporter for Perfetto.
 
 Observability must never perturb the simulation: nothing in this package
 touches an RNG or mutates simulator state, so same-seed runs with and
@@ -28,6 +32,12 @@ from repro.telemetry.registry import (
 )
 from repro.telemetry.profiler import NULL_PROFILER, Profiler
 from repro.telemetry.exporters import snapshot_to_json, snapshot_to_prometheus
+from repro.telemetry.flowtrace import (
+    COMPONENTS,
+    FlowBreakdown,
+    FlowTracer,
+    coerce_flow_tracer,
+)
 from repro.telemetry.heartbeat import Heartbeat
 
 __all__ = [
@@ -41,4 +51,8 @@ __all__ = [
     "snapshot_to_json",
     "snapshot_to_prometheus",
     "Heartbeat",
+    "FlowTracer",
+    "FlowBreakdown",
+    "COMPONENTS",
+    "coerce_flow_tracer",
 ]

@@ -1,0 +1,495 @@
+"""Per-flow FCT provenance tracing: span events and latency breakdown.
+
+OutRAN's whole argument is about *where* flow completion time is spent.
+The aggregate counters/histograms of :mod:`repro.telemetry.registry`
+answer "how slow is the p99" but not "why is *this* flow's p99 high".
+The :class:`FlowTracer` answers that question: it records timestamped
+events as each flow's bytes cross TCP -> core transport -> PDCP -> RLC ->
+MAC/HARQ -> PHY -> delivery, and on flow completion decomposes the flow's
+FCT into additive per-layer components.
+
+Span model
+----------
+
+Every TCP transmission creates a fresh :class:`~repro.net.packet.Packet`,
+so one *leg* (one copy of one segment crossing the stack) is keyed by
+``packet_id``.  The leg collects the crossing timestamps::
+
+    tx_us         the sender put the copy on the wire (TCP layer done)
+    ingress_us    the copy reached the xNodeB (core transport done)
+    enqueue_us    PDCP inspection finished, SDU entered the RLC queue
+    first_tx_us   the SDU's first byte entered an RLC PDU (MAC grant won)
+    last_tx_us    the SDU's final byte entered an RLC PDU
+    delivered_us  the reassembled, deciphered packet reached the UE's TCP
+
+A flow completes when the receiver's ``rcv_nxt`` passes the flow size;
+the delivery that triggers completion identifies the *completing leg*,
+and the breakdown is that leg's journey (all integer microseconds, so
+the components sum to the FCT **exactly**):
+
+==============  ====================================================
+``tcp_us``      flow start -> final TCP transmission of the
+                completing segment (slow-start ramp, cwnd stalls,
+                dupack/RTO recovery of earlier lost copies)
+``core_us``     wired server -> xNodeB transport
+``pdcp_us``     xNodeB ingress -> RLC enqueue (header inspection,
+                flow-table update, SN handling)
+``mac_wait_us`` RLC enqueue -> first byte granted (the MAC
+                scheduling wait under MLFQ / epsilon-relaxation)
+``rlc_us``      first byte granted -> last byte granted (RLC
+                buffering / segmentation spread across grants)
+``harq_us``     residual air-interface recovery: HARQ retransmission
+                rounds plus RLC AM status/retx recovery
+``air_us``      the final successful transport block's flight time
+==============  ====================================================
+
+Determinism contract (same as PR 1's registry/profiler): the tracer only
+*reads* simulator state -- it never touches an RNG, never mutates
+protocol state, and every instrumented hot path guards the emit with an
+``is not None`` check, so a run without a tracer executes the identical
+instruction stream and same-seed ``--json`` output stays byte-identical.
+
+The event stream also exports as Chrome trace-event JSON
+(:meth:`FlowTracer.to_chrome_trace`), loadable directly in Perfetto or
+``chrome://tracing`` with one process per UE and one track per layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+if TYPE_CHECKING:  # circular-import-free type hints only
+    from repro.net.packet import Packet
+    from repro.rlc.pdu import RlcSdu
+    from repro.traffic.generator import FlowSpec
+
+#: Breakdown components, in stack order.  Values are integer
+#: microseconds and sum exactly to the flow's FCT.
+COMPONENTS = ("tcp", "core", "pdcp", "mac_wait", "rlc", "harq", "air")
+
+#: Layer track names for the Chrome trace export, in display order.
+LAYER_TRACKS = ("tcp", "core", "pdcp", "mac", "rlc", "harq", "air")
+
+_COMPONENT_TRACK = {
+    "tcp": "tcp",
+    "core": "core",
+    "pdcp": "pdcp",
+    "mac_wait": "mac",
+    "rlc": "rlc",
+    "harq": "harq",
+    "air": "air",
+}
+
+
+@dataclass(frozen=True)
+class FlowBreakdown:
+    """Additive per-layer decomposition of one completed flow's FCT."""
+
+    flow_id: int
+    ue_index: int
+    size_bytes: int
+    start_us: int
+    end_us: int
+    tcp_us: int
+    core_us: int
+    pdcp_us: int
+    mac_wait_us: int
+    rlc_us: int
+    harq_us: int
+    air_us: int
+    #: Diagnostic counts along the flow's lifetime (not FCT components).
+    tcp_retx: int = 0
+    rlc_drops: int = 0
+    harq_retx: int = 0
+
+    @property
+    def fct_us(self) -> int:
+        return self.end_us - self.start_us
+
+    @property
+    def bucket(self) -> str:
+        from repro.sim.metrics import size_bucket
+
+        return size_bucket(self.size_bytes)
+
+    def components(self) -> dict[str, int]:
+        """Component name -> microseconds, in stack order."""
+        return {
+            "tcp": self.tcp_us,
+            "core": self.core_us,
+            "pdcp": self.pdcp_us,
+            "mac_wait": self.mac_wait_us,
+            "rlc": self.rlc_us,
+            "harq": self.harq_us,
+            "air": self.air_us,
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (used by ``repro explain --json``)."""
+        return {
+            "flow_id": self.flow_id,
+            "ue_index": self.ue_index,
+            "size_bytes": self.size_bytes,
+            "bucket": self.bucket,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "fct_us": self.fct_us,
+            "components_us": self.components(),
+            "tcp_retx": self.tcp_retx,
+            "rlc_drops": self.rlc_drops,
+            "harq_retx": self.harq_retx,
+        }
+
+
+class _Leg:
+    """One copy of one TCP segment crossing the stack (see module doc)."""
+
+    __slots__ = (
+        "packet_id",
+        "seq",
+        "is_retx",
+        "tx_us",
+        "ingress_us",
+        "enqueue_us",
+        "first_tx_us",
+        "last_tx_us",
+        "delivered_us",
+    )
+
+    def __init__(self, packet_id: int, seq: int, is_retx: bool, tx_us: int):
+        self.packet_id = packet_id
+        self.seq = seq
+        self.is_retx = is_retx
+        self.tx_us = tx_us
+        self.ingress_us: Optional[int] = None
+        self.enqueue_us: Optional[int] = None
+        self.first_tx_us: Optional[int] = None
+        self.last_tx_us: Optional[int] = None
+        self.delivered_us: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        return None not in (
+            self.ingress_us,
+            self.enqueue_us,
+            self.first_tx_us,
+            self.last_tx_us,
+            self.delivered_us,
+        )
+
+
+class _FlowTrace:
+    """Mutable per-flow tracing state."""
+
+    __slots__ = (
+        "flow_id",
+        "ue_index",
+        "size_bytes",
+        "start_us",
+        "legs",
+        "last_delivered",
+        "tcp_retx",
+        "rlc_drops",
+        "harq_retx",
+        "completed",
+    )
+
+    def __init__(self, flow_id: int, ue_index: int, size_bytes: int, start_us: int):
+        self.flow_id = flow_id
+        self.ue_index = ue_index
+        self.size_bytes = size_bytes
+        self.start_us = start_us
+        self.legs: dict[int, _Leg] = {}  # packet_id -> leg
+        self.last_delivered: Optional[_Leg] = None
+        self.tcp_retx = 0
+        self.rlc_drops = 0
+        self.harq_retx = 0
+        self.completed = False
+
+
+class FlowTracer:
+    """Span-based flow-lifecycle tracer (attach one per simulation).
+
+    ``air_delay_us`` is the configured one-way air-interface delay, used
+    to split the post-grant residual into ``air`` (the final successful
+    flight) and ``harq`` (HARQ rounds / AM recovery on top of it).
+    """
+
+    enabled = True
+
+    def __init__(self, air_delay_us: int = 0, keep_events: bool = True) -> None:
+        self.air_delay_us = air_delay_us
+        self.keep_events = keep_events
+        self._flows: dict[int, _FlowTrace] = {}
+        self._legs: dict[int, _Leg] = {}  # packet_id -> leg (live flows only)
+        self._breakdowns: list[FlowBreakdown] = []
+        #: (ts_us, ue_index, track, name, phase, dur_us) instant/span rows
+        #: feeding the Chrome trace export.
+        self._events: list[tuple] = []
+        #: Completions whose completing leg was missing a crossing stamp
+        #: (should be zero; a non-zero count flags an instrumentation gap).
+        self.incomplete_flows = 0
+
+    # -- TCP layer (remote server) --------------------------------------
+
+    def on_flow_start(self, spec: "FlowSpec", now_us: int) -> None:
+        self._flows[spec.flow_id] = _FlowTrace(
+            spec.flow_id, spec.ue_index, spec.size_bytes, now_us
+        )
+
+    def on_tcp_tx(self, flow_id: int, packet: "Packet", now_us: int) -> None:
+        flow = self._flows.get(flow_id)
+        if flow is None or flow.completed:
+            return
+        leg = _Leg(packet.packet_id, packet.seq, packet.is_retx, now_us)
+        flow.legs[packet.packet_id] = leg
+        self._legs[packet.packet_id] = leg
+        if packet.is_retx:
+            flow.tcp_retx += 1
+            self._instant(now_us, flow.ue_index, "tcp", f"retx seq={packet.seq}")
+
+    def on_tcp_rto(self, flow_id: int, now_us: int) -> None:
+        flow = self._flows.get(flow_id)
+        if flow is not None and not flow.completed:
+            self._instant(now_us, flow.ue_index, "tcp", "RTO")
+
+    def on_tcp_recovery(self, flow_id: int, now_us: int) -> None:
+        flow = self._flows.get(flow_id)
+        if flow is not None and not flow.completed:
+            self._instant(now_us, flow.ue_index, "tcp", "fast-retransmit")
+
+    # -- xNodeB ingress / PDCP ------------------------------------------
+
+    def on_enb_ingress(self, packet: "Packet", now_us: int) -> None:
+        leg = self._legs.get(packet.packet_id)
+        if leg is not None:
+            leg.ingress_us = now_us
+
+    def on_pdcp_ingress(self, packet: "Packet", level: int, now_us: int) -> None:
+        """PDCP header inspection done; ``level`` is the MLFQ verdict."""
+        # The leg-level timestamp of record is the RLC enqueue; this hook
+        # exists so the PDCP entity is a first-class emit point (and so a
+        # future non-zero PDCP processing model is captured automatically).
+
+    # -- RLC -------------------------------------------------------------
+
+    def on_rlc_enqueue(self, sdu: "RlcSdu", now_us: int) -> None:
+        leg = self._legs.get(sdu.packet.packet_id)
+        if leg is not None:
+            leg.enqueue_us = now_us
+
+    def on_rlc_drop(self, packet: "Packet", now_us: int) -> None:
+        flow = self._flows.get(packet.flow_id)
+        if flow is None:
+            return
+        flow.rlc_drops += 1
+        self._legs.pop(packet.packet_id, None)
+        flow.legs.pop(packet.packet_id, None)
+        self._instant(now_us, flow.ue_index, "rlc", f"drop seq={packet.seq}")
+
+    def on_rlc_first_tx(self, sdu: "RlcSdu", now_us: int) -> None:
+        leg = self._legs.get(sdu.packet.packet_id)
+        if leg is not None and leg.first_tx_us is None:
+            leg.first_tx_us = now_us
+
+    def on_rlc_last_tx(self, sdu: "RlcSdu", now_us: int) -> None:
+        leg = self._legs.get(sdu.packet.packet_id)
+        if leg is not None:
+            leg.last_tx_us = now_us
+
+    def on_rlc_am_retx(self, ue_id: int, sn: int, now_us: int) -> None:
+        self._instant(now_us, ue_id, "rlc", f"AM retx sn={sn}")
+
+    # -- MAC / HARQ ------------------------------------------------------
+
+    def on_mac_grant(
+        self, ue_index: int, grant_bits: int, wait_us: int, now_us: int
+    ) -> None:
+        self._instant(
+            now_us, ue_index, "mac",
+            f"grant {grant_bits}b wait={wait_us}us",
+        )
+
+    def on_harq_failure(self, ue_id: int, tb_bytes: int, now_us: int) -> None:
+        self._instant(now_us, ue_id, "harq", f"TB lost ({tb_bytes}B)")
+
+    def on_harq_attempt(
+        self, ue_id: int, flow_ids: Iterable[int], ok: bool, now_us: int
+    ) -> None:
+        for flow_id in flow_ids:
+            flow = self._flows.get(flow_id)
+            if flow is not None and not flow.completed:
+                flow.harq_retx += 1
+        self._instant(
+            now_us, ue_id, "harq", "retx ok" if ok else "retx failed"
+        )
+
+    # -- delivery / completion ------------------------------------------
+
+    def on_pdcp_decipher_failure(self, ue_index: int, now_us: int) -> None:
+        self._instant(now_us, ue_index, "pdcp", "decipher failure")
+
+    def on_delivery(self, packet: "Packet", now_us: int) -> None:
+        """A deciphered packet reached the UE's TCP receiver."""
+        leg = self._legs.get(packet.packet_id)
+        if leg is None:
+            return
+        leg.delivered_us = now_us
+        flow = self._flows.get(packet.flow_id)
+        if flow is not None:
+            flow.last_delivered = leg
+
+    def on_flow_complete(self, flow_id: int, now_us: int) -> None:
+        """The flow's last byte arrived: freeze the breakdown."""
+        flow = self._flows.get(flow_id)
+        if flow is None or flow.completed:
+            return
+        flow.completed = True
+        breakdown = self._decompose(flow, now_us)
+        if breakdown is None:
+            self.incomplete_flows += 1
+        else:
+            self._breakdowns.append(breakdown)
+            self._emit_flow_spans(breakdown)
+        # Per-packet legs are only needed until completion: prune them so
+        # a long run's tracer memory is O(completed flows + live packets).
+        for packet_id in flow.legs:
+            self._legs.pop(packet_id, None)
+        flow.legs = {}
+        flow.last_delivered = None
+
+    def _decompose(self, flow: _FlowTrace, end_us: int) -> Optional[FlowBreakdown]:
+        leg = flow.last_delivered
+        if leg is None or not leg.complete:
+            return None
+        residual = end_us - leg.last_tx_us
+        air_us = min(self.air_delay_us, residual)
+        return FlowBreakdown(
+            flow_id=flow.flow_id,
+            ue_index=flow.ue_index,
+            size_bytes=flow.size_bytes,
+            start_us=flow.start_us,
+            end_us=end_us,
+            tcp_us=leg.tx_us - flow.start_us,
+            core_us=leg.ingress_us - leg.tx_us,
+            pdcp_us=leg.enqueue_us - leg.ingress_us,
+            mac_wait_us=leg.first_tx_us - leg.enqueue_us,
+            rlc_us=leg.last_tx_us - leg.first_tx_us,
+            harq_us=residual - air_us,
+            air_us=air_us,
+            tcp_retx=flow.tcp_retx,
+            rlc_drops=flow.rlc_drops,
+            harq_retx=flow.harq_retx,
+        )
+
+    # -- results ---------------------------------------------------------
+
+    def breakdowns(self) -> list[FlowBreakdown]:
+        """Per-flow FCT breakdowns of every completed flow, in completion
+        order."""
+        return list(self._breakdowns)
+
+    @property
+    def completed_flows(self) -> int:
+        return len(self._breakdowns)
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def memory_events(self) -> int:
+        """Rough live-state size (events + per-packet legs), for health
+        lines on long runs."""
+        return len(self._events) + len(self._legs)
+
+    # -- Chrome trace-event export ---------------------------------------
+
+    def _instant(self, ts_us: int, ue_index: int, track: str, name: str) -> None:
+        if self.keep_events:
+            self._events.append((ts_us, ue_index, track, name, "i", 0))
+
+    def _emit_flow_spans(self, b: FlowBreakdown) -> None:
+        if not self.keep_events:
+            return
+        label = f"flow {b.flow_id} {b.bucket} {b.size_bytes}B"
+        cursor = b.start_us
+        for component, dur in b.components().items():
+            if dur > 0:
+                self._events.append(
+                    (cursor, b.ue_index, _COMPONENT_TRACK[component],
+                     f"{label} {component}", "X", dur)
+                )
+            cursor += dur
+
+    def to_chrome_trace(self) -> dict:
+        """Render the event stream in Chrome trace-event JSON format.
+
+        One *process* per UE, one *thread* (track) per layer; completed
+        flows appear as complete ("X") spans of their breakdown
+        components, layer incidents (drops, HARQ losses, RTOs) as
+        instant ("i") events.  The document loads directly in Perfetto
+        or ``chrome://tracing``.
+        """
+        track_index = {name: i for i, name in enumerate(LAYER_TRACKS)}
+        events: list[dict] = []
+        ues = sorted({ue for _, ue, _, _, _, _ in self._events})
+        for ue in ues:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": ue,
+                    "tid": 0,
+                    "args": {"name": f"UE {ue}"},
+                }
+            )
+            for track, tid in track_index.items():
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": ue,
+                        "tid": tid,
+                        "args": {"name": track},
+                    }
+                )
+        for ts_us, ue, track, name, phase, dur_us in self._events:
+            event = {
+                "name": name,
+                "cat": track,
+                "ph": phase,
+                "ts": ts_us,
+                "pid": ue,
+                "tid": track_index[track],
+            }
+            if phase == "X":
+                event["dur"] = dur_us
+            else:
+                event["s"] = "t"  # thread-scoped instant
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def save_chrome_trace(self, path: Union[str, Path]) -> None:
+        """Write :meth:`to_chrome_trace` as JSON to ``path``."""
+        Path(path).write_text(json.dumps(self.to_chrome_trace()) + "\n")
+
+
+def coerce_flow_tracer(flow_trace, air_delay_us: int = 0) -> Optional[FlowTracer]:
+    """Normalize a constructor argument into a tracer or None.
+
+    ``None``/``False`` -> None (tracing off: hot paths skip the emit via
+    an ``is not None`` guard, so the off path costs nothing), ``True`` ->
+    a fresh :class:`FlowTracer`, a tracer -> itself.
+    """
+    if flow_trace is None or flow_trace is False:
+        return None
+    if flow_trace is True:
+        return FlowTracer(air_delay_us=air_delay_us)
+    if isinstance(flow_trace, FlowTracer):
+        return flow_trace
+    raise TypeError(
+        f"flow_trace must be a FlowTracer or bool: {flow_trace!r}"
+    )

@@ -82,6 +82,29 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation within buckets.
+
+        Observations are assumed uniform inside their bucket (the usual
+        Prometheus ``histogram_quantile`` convention); the first bucket's
+        lower bound is 0 and a rank landing in the overflow bucket clamps
+        to the last finite edge (the estimate cannot exceed what the
+        buckets resolve).  NaN when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for edge, count in zip(self.edges, self.counts):
+            if count and cumulative + count >= rank:
+                return lower + (edge - lower) * (rank - cumulative) / count
+            cumulative += count
+            lower = edge
+        return self.edges[-1]
+
 
 class _NullCounter(Counter):
     __slots__ = ()
@@ -172,6 +195,11 @@ class TelemetryRegistry:
                     "counts": list(h.counts),
                     "count": h.count,
                     "sum": h.total,
+                    # Interpolated tail estimates (None when empty keeps
+                    # the JSON export strictly valid -- no NaN literals).
+                    "p50": h.quantile(0.50) if h.count else None,
+                    "p95": h.quantile(0.95) if h.count else None,
+                    "p99": h.quantile(0.99) if h.count else None,
                 }
                 for n, h in sorted(self._histograms.items())
             },

@@ -1,0 +1,258 @@
+"""Tests for the per-flow FCT provenance tracer and its consumers.
+
+Load-bearing invariants:
+
+* A traced flow's per-layer components sum *exactly* (integer
+  microseconds) to its FCT, across schedulers, RLC modes, and loss.
+* Tracing is observability only: same-seed runs with and without the
+  tracer produce identical results, down to the serialized ``--json``
+  bytes at the CLI level.
+* The Chrome trace export is valid trace-event JSON (Perfetto /
+  chrome://tracing compatible).
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro import CellSimulation, SimConfig
+from repro.analysis.breakdown import (
+    aggregate_breakdowns,
+    breakdown_report,
+    dominant_component,
+)
+from repro.cli import main, result_summary
+from repro.telemetry import COMPONENTS, FlowTracer, coerce_flow_tracer
+from repro.telemetry.flowtrace import LAYER_TRACKS
+
+
+def run_traced(scheduler="outran", seed=3, duration_s=1.0, **overrides):
+    cfg_kwargs = dict(num_ues=4, load=0.5, seed=seed)
+    cfg_kwargs.update(overrides)
+    cfg = SimConfig.lte_default(**cfg_kwargs)
+    sim = CellSimulation(cfg, scheduler=scheduler, flow_trace=True)
+    return sim, sim.run(duration_s)
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "scheduler,seed,overrides",
+        [
+            ("outran", 3, {}),
+            ("pf", 7, {}),
+            ("rr", 11, {}),
+            ("outran", 5, {"rlc_mode": "am", "radio_bler": 0.1}),
+            ("outran", 9, {"rlc_mode": "um", "radio_bler": 0.1}),
+            ("pf", 13, {"rlc_mode": "tm"}),
+        ],
+    )
+    def test_components_sum_exactly_to_fct(self, scheduler, seed, overrides):
+        sim, result = run_traced(scheduler, seed=seed, **overrides)
+        tracer = sim.flow_trace
+        breakdowns = tracer.breakdowns()
+        assert breakdowns, "traced run completed no flows"
+        # Every completed flow is accounted for: decomposed or explicitly
+        # counted as incomplete (never silently dropped).
+        assert (
+            tracer.completed_flows + tracer.incomplete_flows
+            == result.completed_flows
+        )
+        for b in breakdowns:
+            components = b.components()
+            assert set(components) == set(COMPONENTS)
+            assert sum(components.values()) == b.fct_us
+            assert all(value >= 0 for value in components.values())
+            assert b.end_us - b.start_us == b.fct_us
+            assert b.fct_us > 0
+
+    def test_loss_shows_up_in_recovery_counters(self):
+        sim, _ = run_traced("outran", seed=5, rlc_mode="am", radio_bler=0.15)
+        breakdowns = sim.flow_trace.breakdowns()
+        assert sum(b.harq_retx for b in breakdowns) > 0
+
+    def test_breakdown_dict_view(self):
+        sim, _ = run_traced()
+        b = sim.flow_trace.breakdowns()[0]
+        d = b.as_dict()
+        assert d["fct_us"] == b.fct_us
+        assert sum(d["components_us"].values()) == d["fct_us"]
+        assert d["bucket"] in ("S", "M", "L")
+        json.dumps(d)  # JSON-serializable as-is
+
+    def test_legs_pruned_after_completion(self):
+        sim, result = run_traced()
+        tracer = sim.flow_trace
+        # Per-packet legs are dropped once their flow decomposes: tracer
+        # memory is O(completed flows + packets of still-active flows),
+        # not total packets sent.
+        assert result.completed_flows > 0
+        completed = {b.flow_id for b in tracer.breakdowns()}
+        for flow_id in completed:
+            flow = tracer._flows[flow_id]
+            assert flow.completed and not flow.legs
+        live_legs = sum(
+            len(f.legs) for f in tracer._flows.values() if not f.completed
+        )
+        assert len(tracer._legs) == live_legs
+
+
+class TestDeterminism:
+    def test_traced_run_is_byte_identical(self):
+        cfg = dict(num_ues=4, load=0.5, seed=6)
+        plain = CellSimulation(
+            SimConfig.lte_default(**cfg), scheduler="outran"
+        ).run(1.0)
+        traced_sim = CellSimulation(
+            SimConfig.lte_default(**cfg), scheduler="outran", flow_trace=True
+        )
+        traced = traced_sim.run(1.0)
+        assert result_summary(plain) == result_summary(traced)
+        assert list(plain.fcts_ms()) == list(traced.fcts_ms())
+        assert traced_sim.flow_trace.completed_flows > 0
+
+    def test_cli_json_identical_with_flow_trace(self, tmp_path):
+        base_args = ["--ues", "3", "--load", "0.4", "--duration", "1",
+                     "--seed", "2"]
+        plain_json = tmp_path / "plain.json"
+        traced_json = tmp_path / "traced.json"
+        trace_path = tmp_path / "flow.trace.json"
+        main(base_args + ["--json", str(plain_json)])
+        main(base_args + ["--json", str(traced_json),
+                          "--flow-trace", str(trace_path)])
+        assert plain_json.read_bytes() == traced_json.read_bytes()
+        assert trace_path.exists()
+
+
+class TestChromeTraceExport:
+    def test_trace_is_valid_chrome_trace_event_json(self, tmp_path):
+        sim, _ = run_traced(radio_bler=0.05)
+        path = tmp_path / "trace.json"
+        sim.flow_trace.save_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert events
+        phases = set()
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            phases.add(event["ph"])
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+                assert event["ts"] >= 0
+            elif event["ph"] == "i":
+                assert event["s"] == "t"
+        # Spans, instants, and track-naming metadata all present.
+        assert {"X", "M"} <= phases
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert names == {"process_name", "thread_name"}
+        threads = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert threads <= set(LAYER_TRACKS)
+
+    def test_span_durations_sum_to_fct(self):
+        sim, _ = run_traced()
+        tracer = sim.flow_trace
+        doc = tracer.to_chrome_trace()
+        by_flow = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                # Span names read "flow <id> <bucket> <size>B <component>".
+                flow_id = int(event["name"].split()[1])
+                by_flow[flow_id] = by_flow.get(flow_id, 0) + event["dur"]
+        for b in tracer.breakdowns():
+            assert by_flow[b.flow_id] == b.fct_us
+
+
+class TestCoercion:
+    def test_coerce(self):
+        assert coerce_flow_tracer(None) is None
+        assert coerce_flow_tracer(False) is None
+        fresh = coerce_flow_tracer(True, air_delay_us=250)
+        assert isinstance(fresh, FlowTracer)
+        assert coerce_flow_tracer(fresh) is fresh
+        with pytest.raises(TypeError):
+            coerce_flow_tracer(42)
+
+    def test_enable_flow_trace_idempotent(self):
+        sim = CellSimulation(
+            SimConfig.lte_default(num_ues=2, load=0.3, seed=1)
+        )
+        tracer = sim.enable_flow_trace()
+        assert sim.enable_flow_trace() is tracer
+
+
+class TestBreakdownAnalysis:
+    def test_aggregate_and_report(self):
+        sim, _ = run_traced(num_ues=6, duration_s=1.5)
+        breakdowns = sim.flow_trace.breakdowns()
+        agg = aggregate_breakdowns(breakdowns)
+        assert "all" in agg
+        stats = agg["all"]
+        assert stats["n"] == len(breakdowns)
+        # Additivity survives aggregation: per-component means sum to the
+        # bucket's mean FCT.
+        assert sum(stats["components_us"].values()) == pytest.approx(
+            stats["mean_fct_us"]
+        )
+        assert sum(stats["shares"].values()) == pytest.approx(1.0)
+        report = breakdown_report(breakdowns, scheduler="outran")
+        assert "FCT breakdown per size bucket [outran]" in report
+        assert "slowest 5 flows [outran]" in report
+        assert dominant_component(breakdowns[0]) in COMPONENTS
+
+    def test_empty_breakdowns(self):
+        assert aggregate_breakdowns([]) == {}
+        assert "no completed flows traced" in breakdown_report([])
+
+
+class TestExplainCli:
+    def test_explain_renders_tables(self, tmp_path, capsys):
+        out_json = tmp_path / "explain.json"
+        perfetto = tmp_path / "explain.trace.json"
+        rc = main([
+            "explain", "--scheduler", "outran", "--ues", "4",
+            "--load", "0.5", "--duration", "1", "--seed", "3",
+            "--json", str(out_json), "--perfetto", str(perfetto),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FCT breakdown per size bucket" in out
+        assert "bucket" in out and "dominant" in out
+        payload = json.loads(out_json.read_text())
+        assert "outran" in payload
+        assert payload["outran"]["flows"]
+        assert "all" in payload["outran"]["aggregates"]
+        assert json.loads(perfetto.read_text())["traceEvents"]
+
+
+class TestZeroFlowRun:
+    def test_nan_with_warning_under_full_observability(self):
+        # Zero completed flows with every observability surface active:
+        # heartbeat, profiler, telemetry, and the flow tracer.
+        sim = CellSimulation(
+            SimConfig.lte_default(num_ues=2, load=0.3, seed=1),
+            scheduler="outran",
+            flows=[],
+            telemetry=True,
+            profiler=True,
+            flow_trace=True,
+        )
+        beats = []
+        sim.attach_heartbeat(period_s=0.05, emit=beats.append)
+        result = sim.run(0.2)
+        assert result.completed_flows == 0
+        with pytest.warns(RuntimeWarning, match="completed no flows"):
+            assert result.avg_fct_ms() != result.avg_fct_ms()  # NaN
+        with pytest.warns(RuntimeWarning, match="completed no flows"):
+            assert result.pctl_fct_ms(99) != result.pctl_fct_ms(99)
+        # Empty *bucket* queries on a run that completed flows stay silent.
+        sim2, result2 = run_traced()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result2.avg_fct_ms(bucket="L" if not result2.fcts_ms("L").size
+                               else "S")
+        assert beats  # the heartbeat really ran alongside
+        assert sim.flow_trace.completed_flows == 0

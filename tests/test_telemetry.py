@@ -76,6 +76,30 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h", edges=())
 
+    def test_quantile_interpolates_within_buckets(self):
+        hist = Histogram("lat", edges=(10, 20, 40))
+        for value in (5, 5, 15, 15, 15, 15, 35, 35, 35, 35):
+            hist.observe(value)
+        # counts: [2, 4, 4, 0]; ranks are uniform inside each bucket.
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.2) == 10.0  # exactly the 2/10 boundary
+        assert hist.quantile(0.5) == pytest.approx(10 + 10 * 3 / 4)
+        assert hist.quantile(1.0) == 40.0
+
+    def test_quantile_overflow_clamps_to_last_edge(self):
+        hist = Histogram("lat", edges=(10,))
+        hist.observe(5)
+        hist.observe(1000)  # overflow bucket
+        assert hist.quantile(0.99) == 10.0
+
+    def test_quantile_empty_is_nan_and_range_checked(self):
+        hist = Histogram("lat", edges=(10,))
+        assert np.isnan(hist.quantile(0.5))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
 
 class TestRegistry:
     def test_memoized_by_name(self):
@@ -114,11 +138,13 @@ class TestRegistry:
         assert snap["gauges"] == {"g": 1.5}
         assert snap["histograms"]["h"] == {
             "edges": [10.0], "counts": [1, 0], "count": 1, "sum": 4.0,
+            "p50": 5.0, "p95": 9.5, "p99": 9.9,
         }
         reg.reset()
         snap = reg.snapshot()
         assert snap["counters"] == {"c": 0}
         assert snap["histograms"]["h"]["count"] == 0
+        assert snap["histograms"]["h"]["p99"] is None
 
 
 class TestNullRegistry:
