@@ -305,6 +305,30 @@ def record(name: str, text: str) -> str:
     return text
 
 
+#: Timing repetitions for the tracked perf numbers.  Single-shot wall
+#: clocks on runs this short are noise-dominated (overhead percentages
+#: came out *negative* in past trajectory entries); every recorded
+#: number is now the median of >= 5 repetitions with the spread stored
+#: alongside it.
+BENCH_REPS = max(5, int(os.environ.get("REPRO_BENCH_REPS", "5")))
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _spread_pct(values: Sequence[float]) -> float:
+    """Full spread (max-min) relative to the median, in percent."""
+    med = _median(values)
+    if not med or med != med:
+        return float("nan")
+    return (max(values) - min(values)) / med * 100.0
+
+
 def measure_overhead(
     scheduler: str,
     load: float = 2.0,
@@ -312,29 +336,46 @@ def measure_overhead(
     duration_s: float = 2.0,
     seed: int = DEFAULT_SEED,
     flow_trace: bool = False,
+    reps: Optional[int] = None,
     **overrides,
 ) -> dict:
-    """Time one *uncached* LTE run end-to-end for the perf trajectory.
+    """Time *uncached* LTE runs end-to-end for the perf trajectory.
 
-    Deliberately bypasses both cache layers and uses a private profiler:
-    a cached result has no wall clock to measure, and the shared
-    ``PROFILER`` pools phase time across every figure in the suite.
-    Returns the wall seconds, simulated TTIs and events per wall second,
-    and the per-phase profile split -- the numbers
-    :func:`record_bench` tracks in ``BENCH_overhead.json``.
+    Deliberately bypasses both cache layers and uses a private profiler
+    per repetition: a cached result has no wall clock to measure, and
+    the shared ``PROFILER`` pools phase time across every figure in the
+    suite.  Runs ``reps`` (default :data:`BENCH_REPS`, >= 5) identical
+    repetitions and reports the median wall clock with its spread, so
+    the tracked overhead percentages compare medians instead of two
+    noise samples.  Returns the wall seconds, simulated TTIs and events
+    per wall second, and the per-phase profile split of the median
+    repetition -- the numbers :func:`record_bench` tracks in
+    ``BENCH_overhead.json``.
     """
     spec = _lte_spec(scheduler, load, num_ues, duration_s, seed, overrides)
-    profiler = Profiler()
-    sim = CellSimulation(
-        spec.to_config(),
-        scheduler=spec.scheduler,
-        telemetry=TELEMETRY,
-        profiler=profiler,
-        flow_trace=flow_trace,
+    reps = BENCH_REPS if reps is None else max(1, reps)
+    walls = []
+    samples = []
+    for _ in range(reps):
+        profiler = Profiler()
+        sim = CellSimulation(
+            spec.to_config(),
+            scheduler=spec.scheduler,
+            telemetry=TELEMETRY,
+            profiler=profiler,
+            flow_trace=flow_trace,
+        )
+        start = time.perf_counter()
+        result = sim.run(spec.duration_s)
+        wall_s = time.perf_counter() - start
+        walls.append(wall_s)
+        samples.append((wall_s, result, profiler))
+    # Report the repetition whose wall clock is closest to the median,
+    # so the per-phase split is a real, self-consistent measurement.
+    wall_med = _median(walls)
+    wall_s, result, profiler = min(
+        samples, key=lambda s: abs(s[0] - wall_med)
     )
-    start = time.perf_counter()
-    result = sim.run(spec.duration_s)
-    wall_s = time.perf_counter() - start
     ttis = int(result.extra["ttis"])
     events = int(result.extra["events"])
     report = profiler.report()
@@ -345,6 +386,8 @@ def measure_overhead(
         "flow_trace": flow_trace,
         "flows_completed": len(result._c.records),
         "wall_s": wall_s,
+        "wall_reps": reps,
+        "wall_spread_pct": _spread_pct(walls),
         "ttis": ttis,
         "ttis_per_s": ttis / wall_s if wall_s else float("nan"),
         "events_per_s": events / wall_s if wall_s else float("nan"),
@@ -353,6 +396,117 @@ def measure_overhead(
             for name, phase in report["phases"].items()
         },
         "profile_other_s": report["other_s"],
+    }
+
+
+def measure_tti_loop(
+    num_ues: int,
+    num_rbs: int = 100,
+    ttis: int = 2_000,
+    seed: int = DEFAULT_SEED,
+    epsilon: float = 0.2,
+    reps: Optional[int] = None,
+) -> dict:
+    """Median-of-N timing of the per-TTI scheduling loop, both backends.
+
+    Times exactly the work the backend switch replaces -- the
+    ``allocate`` + ``on_tti_end`` pair per TTI for OutRAN-over-PF on a
+    ``num_ues x num_rbs`` grid -- on the scalar reference path and the
+    batched path, after asserting the two produce identical owners on
+    the same state.  Feeds the reference-vs-vectorized speedup tracked
+    in ``BENCH_overhead.json``.
+
+    GC is paused around each timed loop: when this runs after the
+    end-to-end benchmarks the heap holds millions of sim objects and
+    collector pauses otherwise dominate a 2000-iteration micro loop.
+    """
+    import gc
+
+    import numpy as np
+
+    from repro.core.outran import OutranScheduler
+    from repro.mac.bsr import BufferStatusReport, empty_report
+    from repro.mac.kernels import KernelWorkspace, SchedArrays, kernel_tier
+    from repro.mac.pf import ProportionalFairScheduler
+    from repro.mac.scheduler import UeSchedState
+
+    reps = BENCH_REPS if reps is None else max(1, reps)
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(1e5, 5e6, size=(num_ues, num_rbs))
+    served = rng.uniform(0, 1e5, size=num_ues)
+    tti_us = 1000
+
+    def make_ues():
+        ues = []
+        for i in range(num_ues):
+            ue = UeSchedState(i, i)
+            if i % 4 != 3:  # 3 of 4 UEs backlogged, like a loaded cell
+                ue.bsr = BufferStatusReport(
+                    ue_id=i,
+                    total_bytes=10_000,
+                    head_level=i % 4,
+                )
+            else:
+                ue.bsr = empty_report(i)
+            ue.ewma_bps = 1e5 + 1e4 * i
+            ues.append(ue)
+        return ues
+
+    sched = OutranScheduler(ProportionalFairScheduler(), epsilon=epsilon)
+    ues = make_ues()
+    arrays = SchedArrays(num_ues)
+    arrays.sync_from(ues)
+    work = KernelWorkspace()
+
+    # Identity gate before timing: the two paths must agree on this
+    # exact workload or the speedup below is meaningless.
+    ref_owner = sched.allocate(rates, ues, 0)
+    vec_owner = sched.allocate_batched(rates, arrays, 0, work)
+    if not np.array_equal(ref_owner, vec_owner):
+        raise AssertionError("backend divergence on the TTI-loop workload")
+
+    def time_reference() -> float:
+        state = make_ues()
+        start = time.perf_counter()
+        for t in range(ttis):
+            sched.allocate(rates, state, t * tti_us)
+            sched.on_tti_end(state, served, tti_us)
+        return (time.perf_counter() - start) / ttis * 1e6
+
+    def time_vectorized() -> float:
+        state = SchedArrays(num_ues)
+        state.sync_from(make_ues())
+        start = time.perf_counter()
+        for t in range(ttis):
+            sched.allocate_batched(rates, state, t * tti_us, work)
+            sched.on_tti_end_batched(state, served, tti_us)
+        return (time.perf_counter() - start) / ttis * 1e6
+
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        # Interleaved so slow drift (thermal, noisy neighbours) hits
+        # both backends evenly instead of biasing whichever ran last.
+        ref_times, vec_times = [], []
+        for _ in range(reps):
+            ref_times.append(time_reference())
+            vec_times.append(time_vectorized())
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    ref_us, vec_us = _median(ref_times), _median(vec_times)
+    return {
+        "num_ues": num_ues,
+        "num_rbs": num_rbs,
+        "ttis": ttis,
+        "reps": reps,
+        "kernel_tier": kernel_tier(),
+        "reference_us_per_tti": ref_us,
+        "reference_spread_pct": _spread_pct(ref_times),
+        "vectorized_us_per_tti": vec_us,
+        "vectorized_spread_pct": _spread_pct(vec_times),
+        "speedup": ref_us / vec_us if vec_us else float("nan"),
     }
 
 

@@ -14,6 +14,7 @@ import pytest
 from repro.analysis.tables import format_table
 from repro.core.outran import OutranScheduler
 from repro.mac.bsr import BufferStatusReport
+from repro.mac.kernels import KernelWorkspace, SchedArrays
 from repro.mac.pf import ProportionalFairScheduler
 from repro.mac.scheduler import UeSchedState
 
@@ -28,7 +29,7 @@ BENCH_UES = scale(10, 20)
 BENCH_DURATION_S = scale(1.0, 3.0)
 
 
-def _alloc_us_per_tti(scheduler, num_rbs: int) -> float:
+def _make_state(num_rbs: int):
     rng = np.random.default_rng(0)
     ues = []
     for i in range(NUM_UES):
@@ -39,9 +40,25 @@ def _alloc_us_per_tti(scheduler, num_rbs: int) -> float:
         )
         ues.append(ue)
     rates = rng.uniform(100, 1000, size=(NUM_UES, num_rbs))
+    return ues, rates
+
+
+def _alloc_us_per_tti(scheduler, num_rbs: int) -> float:
+    ues, rates = _make_state(num_rbs)
     start = time.perf_counter()
     for t in range(TTIS):
         scheduler.allocate(rates, ues, t * 1000)
+    return (time.perf_counter() - start) / TTIS * 1e6
+
+
+def _alloc_us_per_tti_batched(scheduler, num_rbs: int) -> float:
+    ues, rates = _make_state(num_rbs)
+    arrays = SchedArrays(NUM_UES)
+    arrays.sync_from(ues)
+    work = KernelWorkspace()
+    start = time.perf_counter()
+    for t in range(TTIS):
+        scheduler.allocate_batched(rates, arrays, t * 1000, work)
     return (time.perf_counter() - start) / TTIS * 1e6
 
 
@@ -51,16 +68,27 @@ def run_fig14() -> str:
     for num_rbs in RB_COUNTS:
         pf_us = _alloc_us_per_tti(ProportionalFairScheduler(), num_rbs)
         outran_us = _alloc_us_per_tti(OutranScheduler(), num_rbs)
-        alloc_us[str(num_rbs)] = {"pf": pf_us, "outran": outran_us}
+        outran_vec_us = _alloc_us_per_tti_batched(OutranScheduler(), num_rbs)
+        alloc_us[str(num_rbs)] = {
+            "pf": pf_us,
+            "outran": outran_us,
+            "outran_vectorized": outran_vec_us,
+            "vectorized_speedup": (
+                outran_us / outran_vec_us if outran_vec_us else float("nan")
+            ),
+        }
         rows.append(
             [num_rbs, f"{pf_us:.1f}", f"{outran_us:.1f}",
-             f"{(outran_us / pf_us - 1) * 100:+.0f}%"]
+             f"{(outran_us / pf_us - 1) * 100:+.0f}%",
+             f"{outran_vec_us:.1f}",
+             f"{outran_us / outran_vec_us:.2f}x"]
         )
     micro = format_table(
-        ["RBs", "PF us/TTI", "OutRAN us/TTI", "extra"],
+        ["RBs", "PF us/TTI", "OutRAN us/TTI", "extra",
+         "vec us/TTI", "vec speedup"],
         rows,
         title="Figure 14b -- per-TTI allocation time vs #RBs "
-        f"({NUM_UES} active UEs; both O(|U||B|))",
+        f"({NUM_UES} active UEs; both O(|U||B|); vec = batched backend)",
     )
     thr_rows = []
     for bw, rbs in ((5.0, 25), (10.0, 50), (15.0, 75), (20.0, 100)):

@@ -80,6 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rlc-mode", choices=("um", "am"), default="um")
     parser.add_argument("--bler", type=float, default=0.0)
     parser.add_argument(
+        "--backend",
+        choices=("reference", "vectorized"),
+        default="reference",
+        help="simulation backend: 'reference' runs the scalar per-UE/"
+        "per-RB loops (the oracle), 'vectorized' the batched numpy "
+        "kernels -- byte-identical output (see docs/BACKENDS.md)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="also write a JSON summary to PATH"
     )
     parser.add_argument(
@@ -163,6 +171,7 @@ def config_from_args(args: argparse.Namespace) -> SimConfig:
         seed=args.seed,
         rlc_mode=args.rlc_mode,
         radio_bler=args.bler,
+        backend=getattr(args, "backend", "reference"),
     )
     if args.rat == "nr":
         cfg = SimConfig.nr_default(mu=args.mu, mec=args.mec, **common)
@@ -218,7 +227,11 @@ def _spec_from_args(args: argparse.Namespace, scheduler: str) -> RunSpec:
         mu=args.mu,
         mec=args.mec,
         distribution=args.distribution,
-        overrides={"rlc_mode": args.rlc_mode, "radio_bler": args.bler},
+        overrides={
+            "rlc_mode": args.rlc_mode,
+            "radio_bler": args.bler,
+            "backend": getattr(args, "backend", "reference"),
+        },
     )
 
 
@@ -358,6 +371,12 @@ def build_explain_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--rlc-mode", choices=("um", "am"), default="um")
     parser.add_argument("--bler", type=float, default=0.0)
+    parser.add_argument(
+        "--backend",
+        choices=("reference", "vectorized"),
+        default="reference",
+        help="simulation backend (byte-identical; see docs/BACKENDS.md)",
+    )
     parser.add_argument(
         "--top",
         type=_positive_int,

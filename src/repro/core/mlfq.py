@@ -86,6 +86,11 @@ class MlfqQueue(Generic[T]):
         self._promoted: deque[_Item[T]] = deque()
         self._total_bytes = 0
         self._total_items = 0
+        # Incremental per-level byte counters: buffer status reports read
+        # the per-level occupancy every TTI for every backlogged UE, so
+        # it must be O(K), not a scan over every queued SDU.
+        self._level_bytes: list[int] = [0] * self.config.num_queues
+        self._promoted_bytes = 0
 
     # -- enqueue ---------------------------------------------------------
 
@@ -100,6 +105,7 @@ class MlfqQueue(Generic[T]):
         self._queues[level].append(_Item(payload, nbytes))
         self._total_bytes += nbytes
         self._total_items += 1
+        self._level_bytes[level] += nbytes
 
     def push_front(self, payload: T, nbytes: int, level: int) -> None:
         """Prepend an item at the head of queue ``level``.
@@ -117,6 +123,7 @@ class MlfqQueue(Generic[T]):
         self._queues[level].appendleft(_Item(payload, nbytes))
         self._total_bytes += nbytes
         self._total_items += 1
+        self._level_bytes[level] += nbytes
 
     def push_promoted(self, payload: T, nbytes: int) -> None:
         """Place an item ahead of every queue (segmented-SDU promotion)."""
@@ -125,6 +132,7 @@ class MlfqQueue(Generic[T]):
         self._promoted.append(_Item(payload, nbytes))
         self._total_bytes += nbytes
         self._total_items += 1
+        self._promoted_bytes += nbytes
 
     # -- dequeue ---------------------------------------------------------
 
@@ -132,10 +140,12 @@ class MlfqQueue(Generic[T]):
         """Remove and return ``(payload, nbytes)`` of the head item."""
         if self._promoted:
             item = self._promoted.popleft()
+            self._promoted_bytes -= item.nbytes
         else:
-            for queue in self._queues:
+            for level, queue in enumerate(self._queues):
                 if queue:
                     item = queue.popleft()
+                    self._level_bytes[level] -= item.nbytes
                     break
             else:
                 raise IndexError("pop from empty MlfqQueue")
@@ -171,12 +181,12 @@ class MlfqQueue(Generic[T]):
 
     def bytes_at_level(self, level: int) -> int:
         """Queued bytes in queue ``level`` (promoted items count as 0)."""
-        return sum(item.nbytes for item in self._queues[level])
+        return self._level_bytes[level]
 
     def level_bytes(self) -> list[int]:
         """Queued bytes per level; index 0 includes promoted items."""
-        out = [self.bytes_at_level(level) for level in range(self.config.num_queues)]
-        out[0] += sum(item.nbytes for item in self._promoted)
+        out = list(self._level_bytes)
+        out[0] += self._promoted_bytes
         return out
 
     def head_level(self) -> Optional[int]:
@@ -214,6 +224,9 @@ class MlfqQueue(Generic[T]):
             merged.extend(queue)
             queue.clear()
         self._queues[0] = merged
+        self._level_bytes = [sum(self._level_bytes)] + [0] * (
+            self.config.num_queues - 1
+        )
 
     def tail_level(self) -> Optional[int]:
         """Level of the item that would be served last (None when empty)."""
@@ -231,15 +244,18 @@ class MlfqQueue(Generic[T]):
         tail keeps short flows intact, mirroring how srsENB sheds from the
         single FIFO tail.
         """
-        for queue in reversed(self._queues):
+        for level in range(self.config.num_queues - 1, -1, -1):
+            queue = self._queues[level]
             if queue:
                 item = queue.pop()
                 self._total_bytes -= item.nbytes
                 self._total_items -= 1
+                self._level_bytes[level] -= item.nbytes
                 return item.payload, item.nbytes
         if self._promoted:
             item = self._promoted.pop()
             self._total_bytes -= item.nbytes
             self._total_items -= 1
+            self._promoted_bytes -= item.nbytes
             return item.payload, item.nbytes
         return None

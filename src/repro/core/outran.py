@@ -19,7 +19,7 @@ OutRAN lives in the RLC entities (:mod:`repro.rlc.um` /
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.mac.scheduler import (
     active_mask,
     argmax_allocation,
 )
+
+if TYPE_CHECKING:
+    from repro.mac.kernels import KernelWorkspace, SchedArrays
 
 DEFAULT_EPSILON = 0.2
 
@@ -82,6 +85,37 @@ class OutranScheduler(MacScheduler):
             self.rb_reselections += int((assigned & (owner != legacy_owner)).sum())
         return owner
 
+    @property
+    def batched_capable(self) -> bool:  # type: ignore[override]
+        # The top-K ablation rule has no fused kernel; it stays on the
+        # reference path regardless of the configured backend.
+        return self.top_k is None and self.legacy.batched_capable
+
+    def allocate_batched(
+        self,
+        rates: np.ndarray,
+        arrays: "SchedArrays",
+        now_us: int,
+        work: "KernelWorkspace",
+    ) -> np.ndarray:
+        metric = self.legacy.metric_matrix_batched(rates, arrays, now_us, work)
+        owner = argmax_allocation(
+            metric,
+            arrays.active,
+            levels=arrays.head_levels,
+            epsilon=self.epsilon,
+            work=work,
+            penalty=arrays.inactive_penalty,
+        )
+        if self.collect_stats:
+            assigned = owner >= 0
+            self.rb_assignments += int(assigned.sum())
+            legacy_owner = argmax_allocation(
+                metric, arrays.active, work=work, penalty=arrays.inactive_penalty
+            )
+            self.rb_reselections += int((assigned & (owner != legacy_owner)).sum())
+        return owner
+
     def on_tti_end(
         self,
         ues: Sequence[UeSchedState],
@@ -91,3 +125,11 @@ class OutranScheduler(MacScheduler):
         # The legacy scheduler's fairness state (EWMA throughput) must keep
         # tracking what was actually served, exactly as it would alone.
         self.legacy.on_tti_end(ues, served_bits, tti_us)
+
+    def on_tti_end_batched(
+        self,
+        arrays: "SchedArrays",
+        served_bits: np.ndarray,
+        tti_us: int,
+    ) -> None:
+        self.legacy.on_tti_end_batched(arrays, served_bits, tti_us)

@@ -13,17 +13,21 @@ Eq. (1) of the paper:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.mac.scheduler import MetricScheduler, UeSchedState
+
+if TYPE_CHECKING:
+    from repro.mac.kernels import KernelWorkspace, SchedArrays
 
 
 class ProportionalFairScheduler(MetricScheduler):
     """The de-facto standard xNodeB scheduler (paper baseline)."""
 
     name = "pf"
+    batched_capable = True
 
     def metric_matrix(
         self, rates: np.ndarray, ues: Sequence[UeSchedState], now_us: int
@@ -31,14 +35,34 @@ class ProportionalFairScheduler(MetricScheduler):
         ewma = np.array([ue.ewma_bps for ue in ues])
         return rates / ewma[:, None]
 
+    def metric_matrix_batched(
+        self,
+        rates: np.ndarray,
+        arrays: "SchedArrays",
+        now_us: int,
+        work: "KernelWorkspace",
+    ) -> np.ndarray:
+        work.reserve(rates.shape)
+        return np.divide(rates, arrays.ewma_bps[:, None], out=work.metric_out)
+
 
 class MaxThroughputScheduler(MetricScheduler):
     """Maximize spectral efficiency; ignores fairness entirely."""
 
     name = "mt"
+    batched_capable = True
 
     def metric_matrix(
         self, rates: np.ndarray, ues: Sequence[UeSchedState], now_us: int
+    ) -> np.ndarray:
+        return np.asarray(rates, dtype=float)
+
+    def metric_matrix_batched(
+        self,
+        rates: np.ndarray,
+        arrays: "SchedArrays",
+        now_us: int,
+        work: "KernelWorkspace",
     ) -> np.ndarray:
         return np.asarray(rates, dtype=float)
 
@@ -51,6 +75,7 @@ class BlindEqualThroughputScheduler(MetricScheduler):
     """
 
     name = "bet"
+    batched_capable = True
 
     def metric_matrix(
         self, rates: np.ndarray, ues: Sequence[UeSchedState], now_us: int
@@ -58,11 +83,24 @@ class BlindEqualThroughputScheduler(MetricScheduler):
         inv = np.array([1.0 / ue.ewma_bps for ue in ues])
         return np.broadcast_to(inv[:, None], rates.shape).copy()
 
+    def metric_matrix_batched(
+        self,
+        rates: np.ndarray,
+        arrays: "SchedArrays",
+        now_us: int,
+        work: "KernelWorkspace",
+    ) -> np.ndarray:
+        work.reserve(rates.shape)
+        inv = np.divide(1.0, arrays.ewma_bps, out=work.row_f)
+        np.copyto(work.metric_out, inv[:, None])
+        return work.metric_out
+
 
 class RoundRobinScheduler(MetricScheduler):
     """Serve the longest-waiting user; channel-blind fairness extreme."""
 
     name = "rr"
+    batched_capable = True
 
     def metric_matrix(
         self, rates: np.ndarray, ues: Sequence[UeSchedState], now_us: int
@@ -71,3 +109,19 @@ class RoundRobinScheduler(MetricScheduler):
             [now_us - ue.last_served_us + 1.0 for ue in ues], dtype=float
         )
         return np.broadcast_to(waited[:, None], rates.shape).copy()
+
+    def metric_matrix_batched(
+        self,
+        rates: np.ndarray,
+        arrays: "SchedArrays",
+        now_us: int,
+        work: "KernelWorkspace",
+    ) -> np.ndarray:
+        work.reserve(rates.shape)
+        # Subtract in exact int64 first, then widen with the +1.0 --
+        # the same order (and therefore rounding) as the scalar
+        # ``now_us - last_served_us + 1.0``.
+        waited_i = np.subtract(now_us, arrays.last_served_us)
+        waited = np.add(waited_i, 1.0, out=work.row_f)
+        np.copyto(work.metric_out, waited[:, None])
+        return work.metric_out

@@ -16,11 +16,14 @@ SRJF baseline is allowed to read.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.mac.bsr import BufferStatusReport, empty_report
+
+if TYPE_CHECKING:
+    from repro.mac.kernels import KernelWorkspace, SchedArrays
 
 #: Floor for the EWMA throughput so the PF ratio is defined for new users.
 MIN_EWMA_BPS = 1e5
@@ -79,6 +82,13 @@ class MacScheduler(ABC):
 
     name: str = "base"
 
+    #: Whether the scheduler implements the array-backed fast path used by
+    #: ``--backend vectorized``.  Schedulers that read per-UE state the
+    #: :class:`~repro.mac.kernels.SchedArrays` mirror does not carry (the
+    #: QoS family) leave this False and run the reference path regardless
+    #: of the configured backend.
+    batched_capable: bool = False
+
     @abstractmethod
     def allocate(
         self, rates: np.ndarray, ues: Sequence[UeSchedState], now_us: int
@@ -98,17 +108,68 @@ class MacScheduler(ABC):
     ) -> None:
         """Hook called after transmission with per-UE served bits."""
 
+    def allocate_batched(
+        self,
+        rates: np.ndarray,
+        arrays: "SchedArrays",
+        now_us: int,
+        work: "KernelWorkspace",
+    ) -> np.ndarray:
+        """Array-backed :meth:`allocate` (vectorized backend only).
+
+        Must produce byte-identical owners to :meth:`allocate` given
+        arrays mirroring the per-UE objects.  Only called when
+        :attr:`batched_capable` is True.
+        """
+        raise NotImplementedError(f"{self.name} has no batched path")
+
+    def on_tti_end_batched(
+        self,
+        arrays: "SchedArrays",
+        served_bits: np.ndarray,
+        tti_us: int,
+    ) -> None:
+        """Array-backed :meth:`on_tti_end` (vectorized backend only)."""
+        raise NotImplementedError(f"{self.name} has no batched path")
+
 
 def active_mask(ues: Sequence[UeSchedState]) -> np.ndarray:
     """Boolean vector of UEs with buffered data."""
     return np.array([ue.active for ue in ues], dtype=bool)
 
 
-def argmax_allocation(metric: np.ndarray, active: np.ndarray) -> np.ndarray:
+def argmax_allocation(
+    metric: np.ndarray,
+    active: np.ndarray,
+    levels: Optional[np.ndarray] = None,
+    epsilon: Optional[float] = None,
+    work: Optional["KernelWorkspace"] = None,
+    penalty: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Per-RB argmax allocation over the metric matrix.
 
     Inactive users never win an RB; RBs with no active user stay -1.
+
+    This is the shared allocation entry point for both backends.  With
+    only ``(metric, active)`` it runs the original scalar-reference code
+    path, untouched.  Passing ``work`` (a preallocated
+    :class:`~repro.mac.kernels.KernelWorkspace`) switches to the
+    workspace-backed batched kernel; additionally passing ``levels`` and
+    ``epsilon`` applies OutRAN's epsilon-relaxed MLFQ re-selection
+    (Algorithm 1) fused into the same kernel, so OutRAN/PF/SRJF all
+    allocate through this one routine.  Every variant is byte-identical
+    for the same inputs.
     """
+    if levels is not None or epsilon is not None:
+        if levels is None or epsilon is None or work is None:
+            raise ValueError("epsilon-relaxed allocation needs levels, epsilon and work")
+        from repro.mac.kernels import epsilon_owner
+
+        return epsilon_owner(metric, active, levels, epsilon, work, penalty)
+    if work is not None:
+        from repro.mac.kernels import plain_owner
+
+        return plain_owner(metric, active, work, penalty)
     if metric.shape[0] == 0 or not active.any():
         return np.full(metric.shape[1] if metric.ndim == 2 else 0, -1, dtype=np.int64)
     masked = np.where(active[:, None], metric, -np.inf)
@@ -150,3 +211,43 @@ class MetricScheduler(MacScheduler):
         for ue, bits in zip(ues, served_bits):
             value = keep * ue.ewma_bps + scale * bits
             ue.ewma_bps = value if value > MIN_EWMA_BPS else MIN_EWMA_BPS
+
+    def metric_matrix_batched(
+        self,
+        rates: np.ndarray,
+        arrays: "SchedArrays",
+        now_us: int,
+        work: "KernelWorkspace",
+    ) -> np.ndarray:
+        """Array-backed :meth:`metric_matrix`; same per-element arithmetic.
+
+        Implementations write into ``work.metric_out`` (after
+        ``work.reserve(rates.shape)``) so the metric matrix costs no
+        per-TTI allocation.
+        """
+        raise NotImplementedError(f"{self.name} has no batched metric")
+
+    def allocate_batched(
+        self,
+        rates: np.ndarray,
+        arrays: "SchedArrays",
+        now_us: int,
+        work: "KernelWorkspace",
+    ) -> np.ndarray:
+        metric = self.metric_matrix_batched(rates, arrays, now_us, work)
+        return argmax_allocation(
+            metric, arrays.active, work=work, penalty=arrays.inactive_penalty
+        )
+
+    def on_tti_end_batched(
+        self,
+        arrays: "SchedArrays",
+        served_bits: np.ndarray,
+        tti_us: int,
+    ) -> None:
+        # Same beta/keep/scale scalars, then the elementwise update in
+        # numpy -- bit-identical per element to the scalar loop above.
+        beta = min((tti_us / 1e6) / self.fairness_window_s, 1.0)
+        keep = 1.0 - beta
+        scale = beta * 1e6 / tti_us
+        arrays.update_ewma(served_bits, keep, scale, MIN_EWMA_BPS)

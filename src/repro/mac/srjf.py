@@ -11,17 +11,21 @@ whole grid at a terrible rate.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.mac.scheduler import MetricScheduler, UeSchedState
+
+if TYPE_CHECKING:
+    from repro.mac.kernels import KernelWorkspace, SchedArrays
 
 
 class SrjfScheduler(MetricScheduler):
     """Channel-blind SRJF over the users' shortest active flows."""
 
     name = "srjf"
+    batched_capable = True
 
     def metric_matrix(
         self, rates: np.ndarray, ues: Sequence[UeSchedState], now_us: int
@@ -39,3 +43,16 @@ class SrjfScheduler(MetricScheduler):
         # (the scheduler is channel-agnostic by construction).
         metric = 1.0 / (remaining + 1.0)
         return np.broadcast_to(metric[:, None], rates.shape).copy()
+
+    def metric_matrix_batched(
+        self,
+        rates: np.ndarray,
+        arrays: "SchedArrays",
+        now_us: int,
+        work: "KernelWorkspace",
+    ) -> np.ndarray:
+        work.reserve(rates.shape)
+        denom = np.add(arrays.remaining_flow, 1.0, out=work.row_f)
+        metric = np.divide(1.0, denom, out=work.row_f2)
+        np.copyto(work.metric_out, metric[:, None])
+        return work.metric_out

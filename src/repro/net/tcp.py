@@ -88,6 +88,7 @@ class TcpFlow:
         initial_cwnd_segments: int = INITIAL_CWND_SEGMENTS,
         on_sender_done: Optional[Callable[["TcpFlow", int], None]] = None,
         tracer: Optional["FlowTracer"] = None,
+        fast_rtt: bool = False,
     ) -> None:
         if size_bytes <= 0:
             raise ValueError(f"flow size must be positive: {size_bytes}")
@@ -120,6 +121,11 @@ class TcpFlow:
         self.rto_backoff = 1
         self._rto_event: Optional[Event] = None
         self._send_times: dict[int, int] = {}  # seq -> send time (RTT samples)
+        #: Vectorized-backend fast path: O(1) amortized RTT sampling that
+        #: exploits the ascending insertion order of ``_send_times`` (see
+        #: ``_sample_rtt``).  Off by default so the reference backend runs
+        #: the original scan.
+        self._fast_rtt = fast_rtt
         self.done = False
         self.packets_sent = 0
         self.retransmits = 0
@@ -322,14 +328,31 @@ class TcpFlow:
 
     def _sample_rtt(self, ack_seq: int, now_us: int) -> None:
         # Use the send time of the highest fully acked segment we timed.
-        sampled = [
-            (seq, t) for seq, t in self._send_times.items() if seq < ack_seq
-        ]
-        if not sampled:
-            return
-        seq, sent = max(sampled, key=lambda item: item[0])
-        for key, _ in sampled:
-            del self._send_times[key]
+        if self._fast_rtt:
+            # ``_send_times`` keys are inserted in strictly ascending seq
+            # order (non-retx sends only happen at seq >= max_sent; retx
+            # removes keys), so the acked entries form a prefix and the
+            # last popped one is the highest -- identical sample and
+            # identical surviving keys to the scan below, without the
+            # per-ACK pass over every outstanding timed segment.
+            st = self._send_times
+            sent = None
+            while st:
+                seq = next(iter(st))
+                if seq >= ack_seq:
+                    break
+                sent = st.pop(seq)
+            if sent is None:
+                return
+        else:
+            sampled = [
+                (seq, t) for seq, t in self._send_times.items() if seq < ack_seq
+            ]
+            if not sampled:
+                return
+            seq, sent = max(sampled, key=lambda item: item[0])
+            for key, _ in sampled:
+                del self._send_times[key]
         rtt = now_us - sent
         if self.srtt_us is None:
             self.srtt_us = float(rtt)
@@ -371,6 +394,13 @@ class TcpFlow:
         self.cwnd_bytes = float(2.0 * self.mss)
         self.dupacks = 0
         self._retx_time.clear()
+        # Karn's ambiguity extends past the retransmitted segment: any
+        # outstanding segment cum-acked *after* this timeout measures the
+        # repair stall, not the path (a ~16 ms RTT once sampled as the
+        # multi-second hole-repair time poisons SRTT, balloons the RTO
+        # toward MAX_RTO_US, and can starve the tail of a lossy flow
+        # indefinitely).  Drop every pending RTT timer.
+        self._send_times.clear()
         self.rto_backoff = min(self.rto_backoff * 2, 64)
         if self.max_sent > self.snd_una:
             # Stay in SACK-repair mode over everything outstanding: the

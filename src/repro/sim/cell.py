@@ -29,6 +29,7 @@ from repro.mac.pf import (
 from repro.mac.qos import CqaScheduler, ExpPfScheduler, MlwdfScheduler, PssScheduler
 from repro.mac.scheduler import MacScheduler
 from repro.mac.srjf import SrjfScheduler
+from repro.net.batch import harvest_sender_stats
 from repro.net.packet import FiveTuple, Packet
 from repro.net.tcp import TcpFlow, TcpReceiver
 from repro.pdcp.entity import CipheredPdu
@@ -268,6 +269,7 @@ class CellSimulation:
             initial_cwnd_segments=self.config.tcp_initial_cwnd,
             on_sender_done=self._on_sender_done,
             tracer=self.flow_trace,
+            fast_rtt=self.config.backend == "vectorized",
         )
         runtime = FlowRuntime(spec, sender, receiver)
         self._runtimes[spec.flow_id] = runtime
@@ -391,6 +393,9 @@ class CellSimulation:
             reset_task.stop()
         if self._heartbeat is not None:
             self._heartbeat.stop()
+        # Vectorized backend: fold the array-backed scheduler state back
+        # into the per-UE objects before anything reads them.
+        self.enb.finalize()
         self._harvest_counters()
         self._harvest_telemetry()
         return SimResult(
@@ -566,22 +571,14 @@ class CellSimulation:
         reg.counter("mlfq.demotions").inc(demotions)
         reg.counter("mlfq.priority_boosts").inc(boosts)
         # TCP -----------------------------------------------------------
-        packets_sent = retransmits = rto_firings = 0
-        cwnds = []
-        for runtime in self._runtimes.values():
-            sender = runtime.sender
-            packets_sent += sender.packets_sent
-            retransmits += sender.retransmits
-            rto_firings += sender.rto_firings
-            if not sender.done:
-                cwnds.append(sender.cwnd_bytes)
-        reg.counter("tcp.packets_sent").inc(packets_sent)
-        reg.counter("tcp.retransmits").inc(retransmits)
-        reg.counter("tcp.rto_firings").inc(rto_firings)
-        reg.gauge("tcp.cwnd_bytes.mean").set(
-            float(np.mean(cwnds)) if cwnds else 0.0
+        tcp = harvest_sender_stats(
+            runtime.sender for runtime in self._runtimes.values()
         )
-        reg.gauge("tcp.cwnd_bytes.max").set(float(max(cwnds)) if cwnds else 0.0)
+        reg.counter("tcp.packets_sent").inc(tcp.packets_sent)
+        reg.counter("tcp.retransmits").inc(tcp.retransmits)
+        reg.counter("tcp.rto_firings").inc(tcp.rto_firings)
+        reg.gauge("tcp.cwnd_bytes.mean").set(tcp.cwnd_mean)
+        reg.gauge("tcp.cwnd_bytes.max").set(tcp.cwnd_max)
         # flows ---------------------------------------------------------
         reg.counter("sim.flows_started").inc(self.metrics.flows_started)
         reg.counter("sim.flows_completed").inc(len(self.metrics.records))

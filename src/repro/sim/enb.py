@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.mac.bsr import empty_report
 from repro.mac.harq import HarqEntity
+from repro.mac.kernels import KernelWorkspace, SchedArrays
 from repro.mac.qos import CqaScheduler, ExpPfScheduler, MlwdfScheduler, PssScheduler
 from repro.mac.scheduler import MacScheduler
 from repro.mac.srjf import SrjfScheduler
@@ -82,6 +83,21 @@ class XNodeB:
         self._sched_states = [ue.sched for ue in self.ues]
         self._empty_reports = [empty_report(ue.index) for ue in self.ues]
         self._needs_oracle = _needs_oracle(scheduler)
+        # Vectorized backend: array-backed scheduler state + preallocated
+        # kernel workspace.  While batched, SchedArrays is the source of
+        # truth for EWMA/last-served (the per-UE objects go stale until
+        # finalize()); the backlog scan below keeps activity, head levels
+        # and the SRJF oracle mirrored incrementally.
+        self._batched = (
+            config.backend == "vectorized" and scheduler.batched_capable
+        )
+        if self._batched:
+            self._arrays: SchedArrays | None = SchedArrays(len(self.ues))
+            self._arrays.sync_from(self._sched_states)
+            self._work: KernelWorkspace | None = KernelWorkspace()
+        else:
+            self._arrays = None
+            self._work = None
         if config.harq_enabled:
             self._harq: list[HarqEntity] | None = [
                 HarqEntity(
@@ -162,6 +178,7 @@ class XNodeB:
         """One scheduling interval."""
         now = self.engine.now_us
         self.ttis_run += 1
+        arrays = self._arrays
         backlogged: list[int] = []
         for ue in self.ues:
             harq = self._harq[ue.index] if self._harq is not None else None
@@ -178,13 +195,19 @@ class XNodeB:
                     )
                 ue.sched.bsr = bsr
                 backlogged.append(ue.index)
+                if arrays is not None:
+                    arrays.set_report(ue.index, bsr.head_level)
                 if self._flowtrace is not None and ue.sched.backlog_since_us is None:
                     ue.sched.backlog_since_us = now
                 if self._needs_oracle:
                     ue.refresh_oracle(now, self._qos_oracle)
+                    if arrays is not None:
+                        arrays.set_remaining(ue.index, ue.sched.remaining_flow_bytes)
             elif ue.sched.bsr.has_data:
                 ue.sched.bsr = self._empty_reports[ue.index]
                 ue.sched.backlog_since_us = None
+                if arrays is not None:
+                    arrays.clear_report(ue.index)
         served_bits = np.zeros(len(self.ues))
         owner = None
         grant_bits = np.zeros(len(self.ues))
@@ -192,14 +215,10 @@ class XNodeB:
             with self._sec_schedule:
                 if self._lat_hist is not None:
                     t0 = perf_counter_ns()
-                    owner = self.scheduler.allocate(
-                        self._rates, self._sched_states, now
-                    )
+                    owner = self._allocate(now)
                     self._lat_hist.observe((perf_counter_ns() - t0) / 1e3)
                 else:
-                    owner = self.scheduler.allocate(
-                        self._rates, self._sched_states, now
-                    )
+                    owner = self._allocate(now)
             valid = owner >= 0
             if valid.any():
                 rb_idx = np.nonzero(valid)[0]
@@ -247,6 +266,19 @@ class XNodeB:
         with self._sec_bookkeeping:
             self._record_tti(now, owner, grant_bits, served_bits, backlogged)
 
+    def _allocate(self, now: int) -> np.ndarray:
+        """Dispatch one TTI's RB allocation to the configured backend."""
+        if self._batched:
+            return self.scheduler.allocate_batched(
+                self._rates, self._arrays, now, self._work
+            )
+        return self.scheduler.allocate(self._rates, self._sched_states, now)
+
+    def finalize(self) -> None:
+        """End-of-run hook: fold batched state back into the UE objects."""
+        if self._arrays is not None:
+            self._arrays.sync_to(self._sched_states)
+
     def _record_tti(
         self,
         now: int,
@@ -272,9 +304,17 @@ class XNodeB:
                 ),
             )
         self.metrics.on_tti(now, served_bits, backlogged)
-        self.scheduler.on_tti_end(self._sched_states, served_bits, self.config.tti_us)
-        for ue_index in np.nonzero(served_bits)[0]:
-            self._sched_states[ue_index].last_served_us = now
+        if self._batched:
+            self.scheduler.on_tti_end_batched(
+                self._arrays, served_bits, self.config.tti_us
+            )
+            self._arrays.last_served_us[served_bits != 0] = now
+        else:
+            self.scheduler.on_tti_end(
+                self._sched_states, served_bits, self.config.tti_us
+            )
+            for ue_index in np.nonzero(served_bits)[0]:
+                self._sched_states[ue_index].last_served_us = now
 
     def _serve_ue(
         self, ue: UeContext, grant_bytes: int, served_bits: np.ndarray

@@ -104,6 +104,7 @@ class UeContext:
             self.rlc_rx = UmReceiver(
                 deliver=lambda sdu, now: deliver_sdu(self, sdu, now),
                 reassembly_window_us=config.reassembly_window_us,
+                fast_expiry=config.backend == "vectorized",
             )
         self.sched = UeSchedState(index, index)
         self.receivers: dict[int, "TcpReceiver"] = {}

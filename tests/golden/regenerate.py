@@ -1,0 +1,93 @@
+"""Regenerate the golden-output regression corpus.
+
+Each case pins one small-but-real simulation config and stores its
+sanitized summary plus the raw per-flow FCT samples.  The replay test
+(``tests/test_golden_corpus.py``) re-runs every stored case on BOTH
+backends and demands exact agreement, so the corpus catches silent
+behaviour drift in either path -- including drift that keeps the two
+backends consistent with each other.
+
+Run from the repo root after an *intentional* behaviour change:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the diff together with the change that caused it.  A diff
+appearing here without an intentional semantics change is a regression.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: case name -> (scheduler, rat, mu, duration_s, config kwargs)
+CASES = {
+    "lte-outran-um-clean": ("outran", "lte", 1, 0.4,
+                            {"rlc_mode": "um", "radio_bler": 0.0}),
+    "lte-outran-am-lossy": ("outran", "lte", 1, 0.4,
+                            {"rlc_mode": "am", "radio_bler": 0.1}),
+    "lte-pf-um-lossy": ("pf", "lte", 1, 0.4,
+                        {"rlc_mode": "um", "radio_bler": 0.05}),
+    "lte-srjf-am": ("srjf", "lte", 1, 0.4,
+                    {"rlc_mode": "am", "radio_bler": 0.02}),
+    "lte-mlfq-strict-um": ("mlfq_strict", "lte", 1, 0.4,
+                           {"rlc_mode": "um", "radio_bler": 0.05}),
+    "nr-mu1-outran-um": ("outran", "nr", 1, 0.2,
+                         {"rlc_mode": "um", "radio_bler": 0.0}),
+}
+
+BASE_KWARGS = {"num_ues": 4, "load": 0.5, "seed": 7}
+
+
+def sanitize(value):
+    """NaN -> None recursively (mirrors test_backend_differential)."""
+    if isinstance(value, dict):
+        return {k: sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(v) for v in value]
+    if isinstance(value, float) and value != value:
+        return None
+    return value
+
+
+def run_case(name, backend="reference"):
+    from repro import CellSimulation, SimConfig
+    from repro.cli import result_summary
+
+    scheduler, rat, mu, duration_s, overrides = CASES[name]
+    kwargs = dict(BASE_KWARGS, backend=backend, **overrides)
+    if rat == "nr":
+        cfg = SimConfig.nr_default(mu=mu, **kwargs)
+    else:
+        cfg = SimConfig.lte_default(**kwargs)
+    sim = CellSimulation(cfg, scheduler=scheduler)
+    result = sim.run(duration_s)
+    return {
+        "case": name,
+        "scheduler": scheduler,
+        "rat": rat,
+        "mu": mu,
+        "duration_s": duration_s,
+        "config": dict(BASE_KWARGS, **overrides),
+        "summary": sanitize(result_summary(result)),
+        # json round-trips doubles exactly (shortest-repr floats), so
+        # the replay comparison below stays bit-exact.
+        "fcts_ms": [float(v) for v in result.fcts_ms()],
+    }
+
+
+def main():
+    for name in CASES:
+        payload = run_case(name)
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)} "
+              f"({payload['summary']['completed_flows']} flows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

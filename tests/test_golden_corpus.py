@@ -1,0 +1,45 @@
+"""Golden-output regression corpus, replayed against both backends.
+
+The JSON files under ``tests/golden/`` pin the sanitized summary and
+the exact per-flow FCT samples of a handful of small configurations
+(see ``tests/golden/regenerate.py`` for the case list and the
+regeneration workflow).  Every case must reproduce its stored output
+exactly on the reference backend AND the vectorized backend: this
+catches behaviour drift that the differential suite alone cannot --
+a change that shifts both backends in lockstep.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden.regenerate import CASES, run_case
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def test_corpus_complete():
+    """Every declared case has a stored golden file, and vice versa."""
+    stored = {p.stem for p in GOLDEN_FILES}
+    assert stored == set(CASES), (
+        "corpus out of sync with the case list -- run "
+        "`PYTHONPATH=src python tests/golden/regenerate.py`"
+    )
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_golden_replay(path, backend):
+    golden = json.loads(path.read_text())
+    replay = run_case(golden["case"], backend=backend)
+    assert replay["summary"] == golden["summary"], (
+        f"{golden['case']} summary drifted on the {backend} backend"
+    )
+    assert replay["fcts_ms"] == golden["fcts_ms"], (
+        f"{golden['case']} FCT samples drifted on the {backend} backend"
+    )
+    assert golden["summary"]["completed_flows"] > 0, (
+        "golden case completes no flows -- it regression-tests nothing"
+    )

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.net.packet import DEFAULT_MSS, FiveTuple
 from repro.net.tcp import TcpFlow, TcpReceiver
@@ -47,6 +47,10 @@ def run_lossy_flow(size_bytes, loss_rate, seed, one_way_us=8_000):
     loss=st.floats(0.0, 0.35),
     seed=st.integers(0, 10_000),
 )
+# Regression: cum-ACKs arriving after an RTO repair used to poison the
+# RTT estimator (sample = hole-repair stall, not path RTT), ballooning
+# the RTO to its 60 s cap and starving the final segment.
+@example(size_segments=39, loss=0.3125, seed=516)
 def test_property_completes_under_iid_loss(size_segments, loss, seed):
     """Any flow completes under i.i.d. loss < 35%, and the receiver never
     acknowledges bytes beyond the flow size."""
