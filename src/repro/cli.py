@@ -9,6 +9,8 @@ Examples::
     python -m repro --scheduler outran --telemetry out.telemetry.json --profile
     python -m repro --scheduler outran --trace trace.npz --heartbeat 1
     python -m repro --scheduler outran --flow-trace flows.trace.json
+    python -m repro --scheduler outran --ric --ric-xapp hillclimb \\
+        --ric-period 100 --ric-report ric.json
     python -m repro explain --scheduler pf outran --load 0.9 --duration 4
     python -m repro sweep sweep.json --jobs 4 --out results.json
 
@@ -34,6 +36,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.compare import comparison_table
 from repro.analysis.tables import format_table
+from repro.ric import CellE2Node, NearRTRIC, make_xapp
 from repro.runner import RunSpec, SweepRunner, SweepSpec
 from repro.sim.cell import CellSimulation
 from repro.sim.config import SimConfig, TrafficSpec
@@ -136,6 +139,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="trace every flow's lifecycle across the stack and save a "
         "Chrome trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
+    ric = parser.add_argument_group("near-RT RIC")
+    ric.add_argument(
+        "--ric",
+        action="store_true",
+        help="attach the Near-RT RIC control loop: periodic KPI "
+        "indications drive the loaded xApp, which may retune epsilon, "
+        "the MLFQ thresholds, and the priority-boost period within "
+        "guardrails (see docs/RIC.md)",
+    )
+    ric.add_argument(
+        "--ric-xapp",
+        default="hillclimb",
+        metavar="NAME",
+        help="xApp to load: 'hillclimb' (probe-and-revert p95-FCT "
+        "optimizer) or 'noop' (observe only; output is byte-identical "
+        "to a run without --ric) (default: %(default)s)",
+    )
+    ric.add_argument(
+        "--ric-period",
+        type=_positive_float,
+        default=100.0,
+        metavar="MS",
+        help="E2 reporting period in milliseconds (default: %(default)s)",
+    )
+    ric.add_argument(
+        "--ric-report",
+        metavar="PATH",
+        help="write the control-loop report (per-window KPIs, every "
+        "control with its ack, final parameters) as JSON to PATH",
     )
     return parser
 
@@ -279,6 +312,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--trace", args.trace),
                 ("--heartbeat", args.heartbeat),
                 ("--flow-trace", args.flow_trace),
+                ("--ric", args.ric),
             )
             if value
         ]
@@ -305,7 +339,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sim.enable_trace()
         if args.heartbeat:
             sim.attach_heartbeat(period_s=args.heartbeat, stream=sys.stderr)
+        ric_loop = None
+        if args.ric:
+            try:
+                xapp = make_xapp(args.ric_xapp)
+            except ValueError as exc:
+                parser.error(str(exc))
+            ric_loop = NearRTRIC(
+                CellE2Node(sim), period_us=int(round(args.ric_period * 1000))
+            )
+            ric_loop.load_xapps([xapp])
+            ric_loop.start()
         result = sim.run(duration_s=args.duration)
+        if ric_loop is not None:
+            ric_loop.stop()
+            if args.ric_report:
+                Path(
+                    _per_scheduler_path(args.ric_report, name, multi)
+                ).write_text(json.dumps(ric_loop.report(), indent=2) + "\n")
         results[name] = result
         summaries.append(result_summary(result))
         if not args.compare:

@@ -92,6 +92,22 @@ class FlowTable:
         state = self._flows.get(five_tuple)
         return 0 if state is None else state.sent_bytes
 
+    def reconfigure(self, config: MlfqConfig) -> None:
+        """Swap the demotion thresholds at runtime (Near-RT RIC control).
+
+        Flows keep their accumulated sent-bytes; each flow's level is
+        re-derived from the new thresholds on its next packet, so a
+        threshold raise can promote an active flow and a cut can demote
+        it -- exactly the ingress-time semantics of a fresh table.  The
+        queue count is immutable at runtime (levels index per-UE queues).
+        """
+        if config.num_queues != self.config.num_queues:
+            raise ValueError(
+                f"cannot change queue count at runtime: "
+                f"{self.config.num_queues} -> {config.num_queues}"
+            )
+        self.config = config
+
     def reset_all(self) -> None:
         """Priority boost (section 6.3): zero every flow's sent-bytes."""
         self.priority_resets += 1

@@ -213,6 +213,21 @@ class MlfqQueue(Generic[T]):
 
     # -- maintenance -----------------------------------------------------
 
+    def reconfigure(self, config: MlfqConfig) -> None:
+        """Swap the demotion thresholds at runtime (Near-RT RIC control).
+
+        The queue *count* is structural -- queued items hold level
+        indices into ``_queues`` -- so changing it mid-run is rejected.
+        Already-queued items keep the level they were classified at; the
+        new thresholds apply to packets classified after the swap.
+        """
+        if config.num_queues != self.config.num_queues:
+            raise ValueError(
+                f"cannot change queue count at runtime: "
+                f"{self.config.num_queues} -> {config.num_queues}"
+            )
+        self.config = config
+
     def boost_all(self) -> None:
         """Move every queued item to the top queue, preserving order.
 

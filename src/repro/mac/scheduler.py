@@ -15,6 +15,7 @@ SRJF baseline is allowed to read.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -131,6 +132,52 @@ class MacScheduler(ABC):
     ) -> None:
         """Array-backed :meth:`on_tti_end` (vectorized backend only)."""
         raise NotImplementedError(f"{self.name} has no batched path")
+
+
+class BackendFallbackWarning(UserWarning):
+    """``--backend vectorized`` ran a scheduler on the scalar path.
+
+    Structured: carries ``scheduler_name`` and ``reason`` so callers can
+    filter or assert on the fields instead of parsing the message.
+    """
+
+    def __init__(self, scheduler_name: str, reason: str) -> None:
+        self.scheduler_name = scheduler_name
+        self.reason = reason
+        super().__init__(
+            f"--backend vectorized fell back to the reference path for "
+            f"scheduler '{scheduler_name}': {reason}; results are "
+            f"identical, only the batched speedup is lost"
+        )
+
+
+def batched_fallback_reason(scheduler: MacScheduler) -> str:
+    """Why a scheduler lacks the batched path (for warnings/telemetry)."""
+    if getattr(scheduler, "top_k", None) is not None:
+        return "the OutRAN top-K ablation rule has no fused kernel"
+    legacy = getattr(scheduler, "legacy", None)
+    if legacy is not None and not legacy.batched_capable:
+        return f"legacy metric scheduler '{legacy.name}' has no batched kernel"
+    return (
+        f"scheduler '{scheduler.name}' reads per-UE state the SchedArrays "
+        f"mirror does not carry"
+    )
+
+
+_warned_fallbacks: set[tuple[str, str]] = set()
+
+
+def warn_backend_fallback(scheduler: MacScheduler, reason: str) -> None:
+    """Emit :class:`BackendFallbackWarning` once per (scheduler, reason).
+
+    One-time: benchmark suites construct hundreds of cells, and a warning
+    per cell would bury the signal.
+    """
+    key = (scheduler.name, reason)
+    if key in _warned_fallbacks:
+        return
+    _warned_fallbacks.add(key)
+    warnings.warn(BackendFallbackWarning(scheduler.name, reason), stacklevel=3)
 
 
 def active_mask(ues: Sequence[UeSchedState]) -> np.ndarray:

@@ -1,0 +1,98 @@
+"""E2-style messages between the Near-RT RIC and a cell (E2 node).
+
+The O-RAN E2 interface carries two message families the RIC loop needs:
+
+* **Indications** -- periodic KPI reports from the E2 node (here: a
+  :class:`~repro.telemetry.kpi.CellKpiSnapshot` plus the currently
+  effective tunable parameters), and
+* **Control** -- parameter-change requests from an xApp, acknowledged
+  with the guardrail-resolved values that will actually be applied.
+
+All types are frozen dataclasses: messages are values, never live views
+into simulator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.telemetry.kpi import CellKpiSnapshot
+
+
+@dataclass(frozen=True)
+class TunableParams:
+    """The runtime-tunable scheduler parameters of one cell.
+
+    ``None`` means the parameter is not tunable in this run: ``epsilon``
+    when the scheduler is not epsilon-mode OutRAN, ``thresholds`` when
+    MLFQ is disabled (or degenerate single-queue), ``boost_period_us``
+    when the periodic priority boost is off.
+    """
+
+    epsilon: Optional[float]
+    thresholds: Optional[tuple[int, ...]]
+    boost_period_us: Optional[int]
+
+    def as_dict(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "thresholds": list(self.thresholds) if self.thresholds else self.thresholds,
+            "boost_period_us": self.boost_period_us,
+        }
+
+
+@dataclass(frozen=True)
+class E2Indication:
+    """One periodic report from a cell to the RIC."""
+
+    cell_id: int
+    #: Monotonic per-node sequence number (1-based).
+    seq: int
+    t_us: int
+    #: Time covered by this report (since the previous indication).
+    window_us: int
+    kpi: CellKpiSnapshot
+    #: The parameters in effect when the report was taken.
+    params: TunableParams
+
+
+@dataclass(frozen=True)
+class E2ControlRequest:
+    """A parameter-change request from an xApp.
+
+    ``None`` fields are left unchanged.  ``boost_period_us=0`` disables
+    the periodic priority boost (``None`` would be ambiguous with
+    "unchanged").  Requested values are *targets*; the guardrails may
+    clamp them (step-size limits) or reject the request outright.
+    """
+
+    xapp: str
+    epsilon: Optional[float] = None
+    thresholds: Optional[tuple[int, ...]] = None
+    boost_period_us: Optional[int] = None
+    reason: str = ""
+
+    def changes_anything(self) -> bool:
+        return (
+            self.epsilon is not None
+            or self.thresholds is not None
+            or self.boost_period_us is not None
+        )
+
+
+@dataclass(frozen=True)
+class E2ControlAck:
+    """The node's answer to a control request.
+
+    ``accepted`` means the (possibly clamped) change was queued for the
+    next TTI boundary; ``resolved`` carries the post-guardrail values so
+    the xApp can see what will actually take effect.  Rejected requests
+    leave the simulation untouched.
+    """
+
+    request: E2ControlRequest
+    accepted: bool
+    detail: str
+    t_us: int
+    resolved: Optional[E2ControlRequest] = None

@@ -1,0 +1,147 @@
+"""Guardrails: validate and clamp xApp control requests.
+
+The RIC loop may only move the cell through configurations the simulator
+could have been started with, and only in bounded steps:
+
+* ``epsilon`` stays in ``[epsilon_min, epsilon_max]`` and moves at most
+  ``max_epsilon_step`` per control,
+* MLFQ thresholds must form a valid :class:`~repro.core.mlfq.MlfqConfig`
+  (positive, one per demotion boundary -- the same validation a
+  start-time config goes through) and be *strictly* increasing, the
+  queue *count* is immutable at runtime, and each threshold moves by at
+  most a factor of ``max_threshold_factor`` per control,
+* the priority-boost period stays within
+  ``[min_boost_period_us, max_boost_period_us]`` (or 0 = disabled).
+
+``validate`` never mutates anything: it returns a
+:class:`GuardrailDecision` the E2 node applies (or not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.mlfq import MlfqConfig
+from repro.ric.e2 import E2ControlRequest, TunableParams
+
+
+@dataclass(frozen=True)
+class GuardrailDecision:
+    """Outcome of validating a control request against current params.
+
+    ``None`` fields mean "leave unchanged"; ``boost_period_us=0`` means
+    disable the boost (mirroring :class:`E2ControlRequest`).  ``detail``
+    explains a rejection or notes any clamping.
+    """
+
+    accepted: bool
+    detail: str
+    epsilon: Optional[float] = None
+    thresholds: Optional[tuple[int, ...]] = None
+    boost_period_us: Optional[int] = None
+
+    def resolved_request(self, request: E2ControlRequest) -> E2ControlRequest:
+        """The request as it will actually be applied (post-clamp)."""
+        return E2ControlRequest(
+            xapp=request.xapp,
+            epsilon=self.epsilon,
+            thresholds=self.thresholds,
+            boost_period_us=self.boost_period_us,
+            reason=request.reason,
+        )
+
+
+def _reject(detail: str) -> GuardrailDecision:
+    return GuardrailDecision(accepted=False, detail=detail)
+
+
+@dataclass(frozen=True)
+class Guardrails:
+    """Bounds and per-control step limits for runtime tuning."""
+
+    epsilon_min: float = 0.0
+    epsilon_max: float = 1.0
+    max_epsilon_step: float = 0.25
+    #: Per-control multiplicative clamp on each threshold's change.
+    max_threshold_factor: float = 4.0
+    min_threshold_bytes: int = 256
+    max_threshold_bytes: int = 1_000_000_000
+    min_boost_period_us: int = 50_000
+    max_boost_period_us: int = 60_000_000
+
+    def validate(
+        self, current: TunableParams, request: E2ControlRequest
+    ) -> GuardrailDecision:
+        """Resolve ``request`` against ``current``; clamp or reject."""
+        if not request.changes_anything():
+            return _reject("request changes nothing")
+        notes: list[str] = []
+        epsilon = None
+        if request.epsilon is not None:
+            if current.epsilon is None:
+                return _reject(
+                    "epsilon is not tunable (scheduler is not epsilon-mode OutRAN)"
+                )
+            lo = max(self.epsilon_min, current.epsilon - self.max_epsilon_step)
+            hi = min(self.epsilon_max, current.epsilon + self.max_epsilon_step)
+            epsilon = min(max(float(request.epsilon), lo), hi)
+            if epsilon != request.epsilon:
+                notes.append(f"epsilon clamped {request.epsilon:g} -> {epsilon:g}")
+        thresholds = None
+        if request.thresholds is not None:
+            if not current.thresholds:
+                return _reject(
+                    "thresholds are not tunable (MLFQ disabled or single-queue)"
+                )
+            requested = tuple(int(t) for t in request.thresholds)
+            if len(requested) != len(current.thresholds):
+                return _reject(
+                    f"queue count is immutable at runtime: expected "
+                    f"{len(current.thresholds)} thresholds, got {len(requested)}"
+                )
+            clamped = []
+            for cur, new in zip(current.thresholds, requested):
+                lo = max(self.min_threshold_bytes, int(cur / self.max_threshold_factor))
+                hi = min(self.max_threshold_bytes, int(cur * self.max_threshold_factor))
+                clamped.append(min(max(new, lo), hi))
+            thresholds = tuple(clamped)
+            if thresholds != requested:
+                notes.append(f"thresholds clamped {requested} -> {thresholds}")
+            # Start-time validation accepts equal adjacent thresholds
+            # (a degenerate but harmless ladder); at runtime we insist on
+            # a strictly increasing one so controls can never collapse
+            # MLFQ levels into each other.
+            if any(a >= b for a, b in zip(thresholds, thresholds[1:])):
+                return _reject(
+                    f"thresholds must be strictly increasing: {thresholds}"
+                )
+            # Reuse the start-time validation for the rest: positive,
+            # count matching the (unchanged) queue count.
+            try:
+                MlfqConfig(num_queues=len(thresholds) + 1, thresholds=thresholds)
+            except ValueError as exc:
+                return _reject(f"invalid thresholds: {exc}")
+        boost = None
+        if request.boost_period_us is not None:
+            requested_boost = int(request.boost_period_us)
+            if requested_boost < 0:
+                return _reject(f"negative boost period: {requested_boost}")
+            if requested_boost == 0:
+                boost = 0  # disable
+            else:
+                boost = min(
+                    max(requested_boost, self.min_boost_period_us),
+                    self.max_boost_period_us,
+                )
+                if boost != requested_boost:
+                    notes.append(
+                        f"boost period clamped {requested_boost} -> {boost}"
+                    )
+        return GuardrailDecision(
+            accepted=True,
+            detail="; ".join(notes) if notes else "ok",
+            epsilon=epsilon,
+            thresholds=thresholds,
+            boost_period_us=boost,
+        )

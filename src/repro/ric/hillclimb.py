@@ -1,0 +1,237 @@
+"""A probe-and-revert hill-climbing xApp over the tunable parameters.
+
+The climber alternates *measure* and *probe* windows on the indication
+cadence: it takes one window's objective (p95 FCT by default) as the
+baseline, perturbs one dimension -- ε, the MLFQ demotion thresholds
+(scaled jointly), or the priority-boost period -- then judges the next
+usable window.  An improving probe is kept (and becomes the new
+baseline, so the climb chains); a non-improving probe is reverted, the
+direction flips, and after failing both directions the climber moves to
+the next dimension.  Because the baseline is re-measured every cycle the
+climber tracks non-stationary load instead of comparing against a stale
+phase.
+
+This is intentionally the simplest closed-loop policy that can win: the
+xApp interface it exercises (indication in, control out, ack back) is
+exactly what a learned policy would use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ric.e2 import (
+    E2ControlAck,
+    E2ControlRequest,
+    E2Indication,
+    TunableParams,
+)
+from repro.ric.xapp import XApp, register_xapp
+
+DIMENSIONS = ("epsilon", "thresholds", "boost")
+
+
+@dataclass
+class _Probe:
+    dim: str
+    #: Values in effect before the probe (for judging no-op clamps).
+    before: TunableParams
+    #: Control that restores ``before`` if the probe does not pay off.
+    revert: E2ControlRequest
+
+
+class HillClimbXApp(XApp):
+    """Coordinate-descent hill climbing on windowed FCT percentiles."""
+
+    name = "hillclimb"
+
+    def __init__(
+        self,
+        dimensions: Sequence[str] = DIMENSIONS,
+        epsilon_step: float = 0.1,
+        threshold_factor: float = 2.0,
+        boost_factor: float = 2.0,
+        objective: str = "fct_p95_ms",
+        min_window_flows: int = 8,
+        tolerance: float = 0.02,
+        enable_boost_period_us: int = 1_000_000,
+    ) -> None:
+        unknown = set(dimensions) - set(DIMENSIONS)
+        if unknown:
+            raise ValueError(f"unknown dimensions {sorted(unknown)}; pick from {DIMENSIONS}")
+        if not dimensions:
+            raise ValueError("need at least one dimension")
+        if threshold_factor <= 1.0 or boost_factor <= 1.0:
+            raise ValueError("scale factors must be > 1")
+        self._dims = tuple(dimensions)
+        self._epsilon_step = epsilon_step
+        self._threshold_factor = threshold_factor
+        self._boost_factor = boost_factor
+        self._objective_name = objective
+        self._min_window_flows = min_window_flows
+        self._tolerance = tolerance
+        self._enable_boost_period_us = enable_boost_period_us
+        self._baseline: Optional[float] = None
+        self._probe: Optional[_Probe] = None
+        self._dim_index = 0
+        self._direction = {dim: 1 for dim in self._dims}
+        self._flipped = {dim: False for dim in self._dims}
+        self.accepted_steps = 0
+        self.reverted_steps = 0
+        self.rejected_controls = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def on_indication(self, indication: E2Indication) -> Optional[E2ControlRequest]:
+        objective = self._window_objective(indication)
+        if objective is None:
+            # Too few completions to judge; keep any outstanding probe
+            # running and decide on the next usable window.
+            return None
+        if self._probe is None:
+            self._baseline = objective
+            return self._next_probe(indication.params)
+        probe, self._probe = self._probe, None
+        improved = (
+            self._baseline is not None
+            and objective < self._baseline * (1.0 - self._tolerance)
+        )
+        if improved:
+            self.accepted_steps += 1
+            self._baseline = objective
+            self._flipped[probe.dim] = False
+            # Keep climbing the same slope from the new operating point.
+            return self._next_probe(indication.params)
+        self.reverted_steps += 1
+        self._turn_away_from(probe.dim)
+        return probe.revert
+
+    def on_control_ack(self, ack: E2ControlAck) -> None:
+        if self._probe is None:
+            return  # ack for a revert; nothing outstanding to judge
+        probe = self._probe
+        if not ack.accepted:
+            self.rejected_controls += 1
+            self._probe = None
+            self._turn_away_from(probe.dim)
+            return
+        if ack.resolved is not None and self._clamped_to_noop(probe, ack.resolved):
+            # Guardrails clamped the step back to the current value (e.g.
+            # epsilon already at a bound): nothing changed, so judging the
+            # next window would just chase noise.
+            self._probe = None
+            self._turn_away_from(probe.dim)
+
+    # -- probe construction ----------------------------------------------
+
+    def _window_objective(self, indication: E2Indication) -> Optional[float]:
+        kpi = indication.kpi
+        if kpi.flows_completed < self._min_window_flows:
+            return None
+        value = getattr(kpi, self._objective_name)
+        if math.isnan(value):
+            value = kpi.fct_mean_ms
+        return None if math.isnan(value) else value
+
+    def _next_probe(self, params: TunableParams) -> Optional[E2ControlRequest]:
+        for _ in range(len(self._dims)):
+            dim = self._dims[self._dim_index]
+            request = self._propose(dim, params)
+            if request is not None:
+                self._probe = _Probe(
+                    dim=dim, before=params, revert=self._revert_for(dim, params)
+                )
+                return request
+            self._advance_dim()
+        return None
+
+    def _propose(self, dim: str, params: TunableParams) -> Optional[E2ControlRequest]:
+        direction = self._direction[dim]
+        if dim == "epsilon":
+            if params.epsilon is None:
+                return None
+            target = params.epsilon + direction * self._epsilon_step
+            target = min(max(target, 0.0), 1.0)
+            if target == params.epsilon:
+                # Pinned at a bound in this direction; try the other one.
+                target = params.epsilon - direction * self._epsilon_step
+                target = min(max(target, 0.0), 1.0)
+                if target == params.epsilon:
+                    return None
+                self._direction[dim] = -direction
+                direction = -direction
+            return E2ControlRequest(
+                xapp=self.name,
+                epsilon=target,
+                reason=f"probe epsilon {direction:+d}",
+            )
+        if dim == "thresholds":
+            if not params.thresholds:
+                return None
+            scale = self._threshold_factor ** direction
+            target = tuple(max(int(round(t * scale)), 1) for t in params.thresholds)
+            if target == params.thresholds:
+                return None
+            return E2ControlRequest(
+                xapp=self.name,
+                thresholds=target,
+                reason=f"probe thresholds x{scale:g}",
+            )
+        if dim == "boost":
+            if params.boost_period_us is None:
+                return E2ControlRequest(
+                    xapp=self.name,
+                    boost_period_us=self._enable_boost_period_us,
+                    reason="probe enabling priority boost",
+                )
+            target = int(round(params.boost_period_us * self._boost_factor ** direction))
+            if target == params.boost_period_us:
+                return None
+            return E2ControlRequest(
+                xapp=self.name,
+                boost_period_us=target,
+                reason=f"probe boost period {direction:+d}",
+            )
+        return None
+
+    def _revert_for(self, dim: str, params: TunableParams) -> E2ControlRequest:
+        if dim == "epsilon":
+            return E2ControlRequest(
+                xapp=self.name, epsilon=params.epsilon, reason="revert probe"
+            )
+        if dim == "thresholds":
+            return E2ControlRequest(
+                xapp=self.name, thresholds=params.thresholds, reason="revert probe"
+            )
+        return E2ControlRequest(
+            xapp=self.name,
+            boost_period_us=params.boost_period_us or 0,
+            reason="revert probe",
+        )
+
+    def _clamped_to_noop(self, probe: _Probe, resolved: E2ControlRequest) -> bool:
+        before = probe.before
+        if probe.dim == "epsilon":
+            return resolved.epsilon == before.epsilon
+        if probe.dim == "thresholds":
+            return resolved.thresholds == before.thresholds
+        return resolved.boost_period_us == (before.boost_period_us or 0)
+
+    # -- direction / dimension bookkeeping --------------------------------
+
+    def _turn_away_from(self, dim: str) -> None:
+        """A step in ``dim`` failed: flip once, then move to the next dim."""
+        if self._flipped[dim]:
+            self._flipped[dim] = False
+            self._advance_dim()
+        else:
+            self._direction[dim] *= -1
+            self._flipped[dim] = True
+
+    def _advance_dim(self) -> None:
+        self._dim_index = (self._dim_index + 1) % len(self._dims)
+
+
+register_xapp("hillclimb", HillClimbXApp)

@@ -1,0 +1,79 @@
+"""The xApp interface and registry.
+
+An xApp's lifecycle mirrors the O-RAN shape: it is *subscribed* to an E2
+node when loaded into the RIC, receives periodic *indications*, may
+answer each with at most one *control* request, and sees the node's
+*acknowledgement* (accepted/clamped/rejected) for every control it sent.
+
+The interface is deliberately policy-agnostic: ``on_indication`` maps an
+observation to an optional action, so a learned policy (e.g. an RL agent
+whose action space is the :class:`~repro.ric.e2.E2ControlRequest` fields)
+drops in exactly where :class:`~repro.ric.hillclimb.HillClimbXApp` sits
+today.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Union
+
+from repro.ric.e2 import E2ControlAck, E2ControlRequest, E2Indication
+
+if TYPE_CHECKING:
+    from repro.ric.node import CellE2Node
+
+
+class XApp(ABC):
+    """Base class for RIC applications."""
+
+    name: str = "xapp"
+
+    def on_subscribe(self, node: "CellE2Node") -> None:
+        """Called once when the RIC loads the xApp against a node."""
+
+    @abstractmethod
+    def on_indication(self, indication: E2Indication) -> Optional[E2ControlRequest]:
+        """React to a KPI report; return a control request or ``None``."""
+
+    def on_control_ack(self, ack: E2ControlAck) -> None:
+        """Called with the node's answer to a control this xApp sent."""
+
+
+class NoOpXApp(XApp):
+    """Subscribes and observes but never sends a control.
+
+    The byte-identity reference: a run with this xApp loaded must produce
+    output identical to a run without the RIC at all.
+    """
+
+    name = "noop"
+
+    def __init__(self) -> None:
+        self.indications_seen = 0
+
+    def on_indication(self, indication: E2Indication) -> Optional[E2ControlRequest]:
+        self.indications_seen += 1
+        return None
+
+
+#: Name -> zero-argument factory for CLI / config lookup.
+XAPP_FACTORIES: Dict[str, Callable[[], XApp]] = {}
+
+
+def register_xapp(name: str, factory: Callable[[], XApp]) -> None:
+    """Register a factory so ``--ric-xapp NAME`` can build the xApp."""
+    XAPP_FACTORIES[name] = factory
+
+
+def make_xapp(spec: Union[str, XApp]) -> XApp:
+    """Build an xApp from a registered name (instances pass through)."""
+    if isinstance(spec, XApp):
+        return spec
+    factory = XAPP_FACTORIES.get(spec)
+    if factory is None:
+        known = ", ".join(sorted(XAPP_FACTORIES))
+        raise ValueError(f"unknown xApp {spec!r} (known: {known})")
+    return factory()
+
+
+register_xapp("noop", NoOpXApp)

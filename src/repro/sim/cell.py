@@ -164,6 +164,11 @@ class CellSimulation:
         self._runtimes: dict[int, FlowRuntime] = {}
         self._flow_sizes: dict[int, int] = {}
         self._provided_flows = list(flows) if flows is not None else None
+        # Priority-boost period is runtime-tunable (Near-RT RIC): the
+        # config value is only the starting point.
+        self._boost_period_us = config.priority_reset_period_us
+        self._reset_task: Optional[PeriodicTask] = None
+        self._run_started = False
         self._completion_hooks: dict[int, Callable[[int], None]] = {}
         if self.flow_trace is not None:
             self._wire_flow_trace()
@@ -206,6 +211,18 @@ class CellSimulation:
         return self.peak_capacity_bps() * self.config.capacity_scale
 
     # -- workload -------------------------------------------------------------
+
+    def provide_flows(self, flows: Sequence[FlowSpec]) -> None:
+        """Replace the config-derived workload with an explicit flow list.
+
+        Used by workload drivers built outside :class:`SimConfig` (e.g.
+        :class:`~repro.sim.webload.NonStationaryLoad`) that need the
+        cell's :meth:`capacity_bps` to size their arrivals.  Call before
+        :meth:`run`.
+        """
+        if self._run_started:
+            raise RuntimeError("provide_flows() must be called before run()")
+        self._provided_flows = list(flows)
 
     def _make_flows(self, duration_s: float) -> list[FlowSpec]:
         if self._provided_flows is not None:
@@ -371,16 +388,16 @@ class CellSimulation:
         for spec in flows:
             self.engine.schedule_at(spec.start_us, self._start_flow, spec)
         tti = self.config.tti_us
+        self._run_started = True
         tti_task = PeriodicTask(self.engine, tti, self.enb.on_tti, start_us=tti)
         cqi_period_us = max(
             microseconds(self.config.scenario.cqi_period_s), tti
         )
         cqi_task = PeriodicTask(self.engine, cqi_period_us, self._on_cqi_update)
-        reset_task = None
-        if self.config.priority_reset_period_us is not None:
-            reset_task = PeriodicTask(
+        if self._boost_period_us is not None:
+            self._reset_task = PeriodicTask(
                 self.engine,
-                self.config.priority_reset_period_us,
+                self._boost_period_us,
                 self._on_priority_reset,
             )
         t0 = perf_counter_ns()
@@ -389,8 +406,9 @@ class CellSimulation:
         self._run_wall_ns = perf_counter_ns() - t0
         tti_task.stop()
         cqi_task.stop()
-        if reset_task is not None:
-            reset_task.stop()
+        if self._reset_task is not None:
+            self._reset_task.stop()
+            self._reset_task = None
         if self._heartbeat is not None:
             self._heartbeat.stop()
         # Vectorized backend: fold the array-backed scheduler state back
@@ -425,6 +443,39 @@ class CellSimulation:
     def _on_priority_reset(self) -> None:
         for ue in self.ues:
             ue.boost_priorities()
+
+    # -- runtime tuning (Near-RT RIC control surface) ----------------------
+
+    @property
+    def uses_mlfq(self) -> bool:
+        """Whether per-UE MLFQ queues/flow tables are active in this run."""
+        return self._use_mlfq
+
+    @property
+    def priority_boost_period_us(self) -> Optional[int]:
+        """Current priority-boost period (None = disabled)."""
+        return self._boost_period_us
+
+    def set_priority_boost_period(self, period_us: Optional[int]) -> None:
+        """Change the section 6.3 priority-boost period at runtime.
+
+        ``None`` disables the periodic boost.  Mid-run the running
+        periodic task is replaced, so the next boost fires one new period
+        from now; before :meth:`run` this simply overrides the config
+        value the run will start with.
+        """
+        if period_us is not None and period_us <= 0:
+            raise ValueError(f"boost period must be positive: {period_us}")
+        self._boost_period_us = period_us
+        if not self._run_started:
+            return
+        if self._reset_task is not None:
+            self._reset_task.stop()
+            self._reset_task = None
+        if period_us is not None:
+            self._reset_task = PeriodicTask(
+                self.engine, period_us, self._on_priority_reset
+            )
 
     def _harvest_counters(self) -> None:
         for ue in self.ues:
@@ -498,6 +549,12 @@ class CellSimulation:
         if not self.telemetry.enabled and not self.profiler.enabled:
             return None
         snapshot = self.telemetry.snapshot()
+        if self.enb.backend_fallback_reason is not None:
+            snapshot["backend"] = {
+                "requested": self.config.backend,
+                "effective": "reference",
+                "fallback_reason": self.enb.backend_fallback_reason,
+            }
         if self.profiler.enabled:
             snapshot["profile"] = self.profiler.report()
         return snapshot

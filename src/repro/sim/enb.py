@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 from time import perf_counter_ns
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,7 +26,11 @@ from repro.mac.bsr import empty_report
 from repro.mac.harq import HarqEntity
 from repro.mac.kernels import KernelWorkspace, SchedArrays
 from repro.mac.qos import CqaScheduler, ExpPfScheduler, MlwdfScheduler, PssScheduler
-from repro.mac.scheduler import MacScheduler
+from repro.mac.scheduler import (
+    MacScheduler,
+    batched_fallback_reason,
+    warn_backend_fallback,
+)
 from repro.mac.srjf import SrjfScheduler
 from repro.phy.channel import ChannelModel
 from repro.phy.tbs import transport_block_bits
@@ -91,6 +95,17 @@ class XNodeB:
         self._batched = (
             config.backend == "vectorized" and scheduler.batched_capable
         )
+        #: Why the vectorized backend is running this scheduler on the
+        #: scalar path (None when no fallback happened).  Surfaced in the
+        #: telemetry snapshot and warned once per scheduler/reason.
+        self.backend_fallback_reason: Optional[str] = None
+        if config.backend == "vectorized" and not self._batched:
+            self.backend_fallback_reason = batched_fallback_reason(scheduler)
+            warn_backend_fallback(scheduler, self.backend_fallback_reason)
+        #: Runtime parameter changes (Near-RT RIC controls) queued to be
+        #: applied at the top of the next TTI -- the one boundary where
+        #: both backends observe a change identically.
+        self._pending_controls: list[Callable[[], None]] = []
         if self._batched:
             self._arrays: SchedArrays | None = SchedArrays(len(self.ues))
             self._arrays.sync_from(self._sched_states)
@@ -174,8 +189,40 @@ class XNodeB:
 
     # -- the TTI loop ------------------------------------------------------------
 
+    def request_control(self, apply: Callable[[], None]) -> None:
+        """Queue a runtime parameter change for the next TTI boundary.
+
+        Applying between TTIs (never mid-allocation) keeps the reference
+        and vectorized backends byte-identical under runtime tuning: both
+        see the new parameters for the first time at the same TTI.
+        """
+        self._pending_controls.append(apply)
+
+    def invalidate_kernel_caches(self) -> None:
+        """Re-mirror per-UE report state into the batched kernel arrays.
+
+        Called after a runtime parameter change that can shift the per-UE
+        MLFQ head levels.  Only the report-derived fields (activity, head
+        level, SRJF remaining) are re-mirrored -- the EWMA/last-served
+        arrays are the *source of truth* while batched and must not be
+        overwritten from the stale per-UE objects.
+        """
+        arrays = self._arrays
+        if arrays is None:
+            return
+        for state in self._sched_states:
+            if state.active:
+                arrays.set_report(state.index, state.bsr.head_level)
+                arrays.set_remaining(state.index, state.remaining_flow_bytes)
+            else:
+                arrays.clear_report(state.index)
+
     def on_tti(self) -> None:
         """One scheduling interval."""
+        if self._pending_controls:
+            controls, self._pending_controls = self._pending_controls, []
+            for apply in controls:
+                apply()
         now = self.engine.now_us
         self.ttis_run += 1
         arrays = self._arrays
@@ -398,6 +445,8 @@ class XNodeB:
             return
         reg.counter("mac.ttis_run").inc(self.ttis_run)
         reg.counter("mac.tbs_lost").inc(self.tbs_lost)
+        if self.backend_fallback_reason is not None:
+            reg.counter("mac.backend.fallbacks").inc(1)
         if self._harq is not None:
             reg.counter("mac.harq.retransmissions").inc(
                 sum(h.retransmissions for h in self._harq)

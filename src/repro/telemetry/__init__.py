@@ -13,6 +13,9 @@ The subsystem has four pieces, all dependency-free:
   Prometheus-style text exposition.
 * :mod:`repro.telemetry.heartbeat` -- a periodic run-health line (sim
   time, events/s, active flows, trace memory) for long runs.
+* :mod:`repro.telemetry.kpi` -- windowed per-cell KPI snapshots (FCT
+  percentiles, queue occupancy, per-MLFQ-level backlog): the indication
+  payload of the Near-RT RIC loop (:mod:`repro.ric`).
 * :mod:`repro.telemetry.flowtrace` -- a span-based per-flow lifecycle
   tracer decomposing each completed flow's FCT into additive per-layer
   components (TCP / core / PDCP / MAC wait / RLC / HARQ / air), with a
@@ -39,8 +42,11 @@ from repro.telemetry.flowtrace import (
     coerce_flow_tracer,
 )
 from repro.telemetry.heartbeat import Heartbeat
+from repro.telemetry.kpi import CellKpiSnapshot, KpiCollector
 
 __all__ = [
+    "CellKpiSnapshot",
+    "KpiCollector",
     "TelemetryRegistry",
     "Counter",
     "Gauge",

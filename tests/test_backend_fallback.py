@@ -1,0 +1,116 @@
+"""Tests for the vectorized-backend scalar-fallback warning.
+
+``--backend vectorized`` silently ran schedulers without a batched path
+(QoS ``pss``/``cqa``, the OutRAN top-K ablation) on the scalar reference
+path.  The fallback is still correct -- results are byte-identical -- but
+the user asked for the batched speedup and should hear that it is not in
+effect: once per (scheduler, reason), as a structured
+:class:`BackendFallbackWarning`, and surfaced in the telemetry snapshot.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.outran import OutranScheduler
+from repro.mac.pf import ProportionalFairScheduler
+from repro.mac.scheduler import (
+    BackendFallbackWarning,
+    _warned_fallbacks,
+    batched_fallback_reason,
+)
+from repro.sim.cell import CellSimulation
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture(autouse=True)
+def _reset_warning_dedup():
+    """Each test sees a fresh one-time-warning slate."""
+    _warned_fallbacks.clear()
+    yield
+    _warned_fallbacks.clear()
+
+
+def _sim(scheduler, backend="vectorized", telemetry=None):
+    cfg = SimConfig.lte_default(num_ues=3, seed=4, backend=backend)
+    return CellSimulation(cfg, scheduler=scheduler, telemetry=telemetry)
+
+
+class TestFallbackWarning:
+    @pytest.mark.parametrize("scheduler", ["pss", "cqa"])
+    def test_qos_scheduler_warns_once(self, scheduler):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sim = _sim(scheduler)
+        fallbacks = [
+            w for w in caught if issubclass(w.category, BackendFallbackWarning)
+        ]
+        assert len(fallbacks) == 1
+        warning = fallbacks[0].message
+        assert warning.scheduler_name == sim.scheduler.name
+        assert sim.scheduler.name in warning.reason
+        assert sim.enb.backend_fallback_reason == warning.reason
+
+    def test_top_k_ablation_warns_with_specific_reason(self):
+        scheduler = OutranScheduler(ProportionalFairScheduler(), top_k=4)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sim = _sim(scheduler)
+        fallbacks = [
+            w for w in caught if issubclass(w.category, BackendFallbackWarning)
+        ]
+        assert len(fallbacks) == 1
+        assert "top-K" in str(fallbacks[0].message)
+        assert sim.enb.backend_fallback_reason == batched_fallback_reason(
+            sim.scheduler
+        )
+
+    def test_deduplicated_across_cells(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _sim("pss")
+            _sim("pss")  # same (scheduler, reason): no second warning
+            _sim("cqa")  # different scheduler: its own warning
+        fallbacks = [
+            w for w in caught if issubclass(w.category, BackendFallbackWarning)
+        ]
+        assert len(fallbacks) == 2
+
+    def test_batched_scheduler_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sim = _sim("outran")
+        assert not [
+            w for w in caught if issubclass(w.category, BackendFallbackWarning)
+        ]
+        assert sim.enb.backend_fallback_reason is None
+
+    def test_reference_backend_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sim = _sim("pss", backend="reference")
+        assert not [
+            w for w in caught if issubclass(w.category, BackendFallbackWarning)
+        ]
+        assert sim.enb.backend_fallback_reason is None
+
+
+class TestFallbackTelemetry:
+    def test_snapshot_surfaces_reason(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", BackendFallbackWarning)
+            sim = _sim("pss", telemetry=True)
+        sim.run(0.05)
+        snapshot = sim.telemetry_snapshot()
+        backend = snapshot["backend"]
+        assert backend["requested"] == "vectorized"
+        assert backend["effective"] == "reference"
+        assert backend["fallback_reason"] == sim.enb.backend_fallback_reason
+        assert snapshot["counters"]["mac.backend.fallbacks"] == 1
+
+    def test_no_backend_block_when_batched(self):
+        sim = _sim("outran", telemetry=True)
+        sim.run(0.05)
+        snapshot = sim.telemetry_snapshot()
+        assert "backend" not in snapshot
+        assert "mac.backend.fallbacks" not in snapshot.get("counters", {})

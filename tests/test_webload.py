@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro import CellSimulation, SimConfig
-from repro.sim.webload import PAGE_FLOW_ID_BASE, PageLoadSession, measure_plt
+from repro.sim.webload import (
+    PAGE_FLOW_ID_BASE,
+    PHASE_FLOW_ID_STRIDE,
+    LoadPhase,
+    NonStationaryLoad,
+    PageLoadSession,
+    measure_plt,
+)
 from repro.traffic.generator import FlowSpec
 from repro.traffic.webpage import PAGES_BY_NAME, Webpage
 
@@ -101,3 +108,62 @@ class TestDynamicStartFlow:
         sim.run(duration_s=1.0)
         assert len(done) == 1
         assert done[0] > 1000
+
+
+class TestNonStationaryLoad:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            LoadPhase(duration_s=0.0, load=0.5)
+        with pytest.raises(ValueError):
+            LoadPhase(duration_s=1.0, load=0.0)
+        with pytest.raises(ValueError):
+            LoadPhase(duration_s=1.0, load=5.0)
+        with pytest.raises(ValueError):
+            NonStationaryLoad([])
+
+    def test_burst_shape(self):
+        schedule = NonStationaryLoad.burst(phase_s=2.0)
+        assert len(schedule.phases) == 3
+        assert schedule.total_duration_s == pytest.approx(6.0)
+        loads = [p.load for p in schedule.phases]
+        assert loads[1] > loads[0] and loads[1] > loads[2]
+        assert schedule.mean_load() == pytest.approx(sum(loads) / 3)
+
+    def test_flow_ids_disjoint_per_phase(self):
+        schedule = NonStationaryLoad.burst(phase_s=1.0, seed=2)
+        flows = schedule.generate(num_ues=4, capacity_bps=50e6)
+        assert flows
+        ids = [f.flow_id for f in flows]
+        assert len(ids) == len(set(ids))
+        for flow in flows:
+            phase = flow.flow_id // PHASE_FLOW_ID_STRIDE - 1
+            assert 0 <= phase < 3
+
+    def test_arrivals_respect_phase_offsets(self):
+        phases = [LoadPhase(1.0, 0.4), LoadPhase(1.0, 1.5)]
+        schedule = NonStationaryLoad(phases, seed=5)
+        flows = schedule.generate(num_ues=4, capacity_bps=50e6)
+        for flow in flows:
+            phase = flow.flow_id // PHASE_FLOW_ID_STRIDE - 1
+            offset_us = int(phase * 1e6)
+            assert offset_us <= flow.start_us < offset_us + int(1e6)
+        # The overload phase offers more arrivals than the calm one.
+        by_phase = [0, 0]
+        for flow in flows:
+            by_phase[flow.flow_id // PHASE_FLOW_ID_STRIDE - 1] += 1
+        assert by_phase[1] > by_phase[0]
+
+    def test_deterministic_for_seed(self):
+        a = NonStationaryLoad.burst(seed=9).generate(3, 50e6)
+        b = NonStationaryLoad.burst(seed=9).generate(3, 50e6)
+        c = NonStationaryLoad.burst(seed=10).generate(3, 50e6)
+        assert a == b
+        assert a != c
+
+    def test_provide_to_installs_flows(self):
+        sim = make_sim()
+        schedule = NonStationaryLoad.burst(phase_s=0.5, seed=1)
+        flows = schedule.provide_to(sim)
+        assert flows
+        result = sim.run(schedule.total_duration_s)
+        assert result.completed_flows > 0
