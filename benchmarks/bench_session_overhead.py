@@ -1,0 +1,127 @@
+"""Session-API overhead: stepped execution vs the one-shot run path.
+
+The resumable-session redesign (``repro.sim.session``) must be free on
+the fig13 overhead workload: driving a run as ``start`` / chunked
+``step`` / ``finish`` does the same event-loop work as
+``CellSimulation.run()`` plus only per-chunk bookkeeping, so its wall
+clock may not exceed the one-shot path by more than 5%.  Identity is a
+precondition of the comparison: the stepped run must land on the same
+fingerprint bytes before its timing means anything.
+
+Feeds the ``session_overhead`` entry in ``BENCH_overhead.json``; the CI
+serve-smoke job asserts the <= 5% budget on that entry.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.sim.cell import CellSimulation
+from repro.sim.session import SimulationSession, result_fingerprint
+
+from _harness import (
+    BENCH_REPS,
+    _lte_spec,
+    _median,
+    _spread_pct,
+    once,
+    record,
+    record_bench,
+    scale,
+)
+
+#: The fig13 overhead workload (bench_fig13_overhead_flows.BENCH_*).
+BENCH_UES = scale(10, 30)
+BENCH_DURATION_S = scale(1.0, 4.0)
+LOAD = 2.0
+
+#: The serve default: 1000-TTI chunks between lock releases.
+CHUNK_TTIS = 1_000
+
+
+def _spec():
+    return _lte_spec("outran", LOAD, BENCH_UES, BENCH_DURATION_S,
+                     seed=42, overrides={})
+
+
+def _sim():
+    spec = _spec()
+    return CellSimulation(spec.to_config(), scheduler=spec.scheduler)
+
+
+def _time_one_shot() -> tuple[float, str]:
+    sim = _sim()
+    start = time.perf_counter()
+    result = sim.run(BENCH_DURATION_S)
+    return time.perf_counter() - start, result_fingerprint(result)
+
+
+def _time_stepped(chunk_ttis: int) -> tuple[float, str, int]:
+    session = SimulationSession(_sim(), BENCH_DURATION_S)
+    start = time.perf_counter()
+    session.start()
+    while not session.done:
+        session.step(n_ttis=chunk_ttis)
+    result = session.finish()
+    wall_s = time.perf_counter() - start
+    return wall_s, result_fingerprint(result), session._steps
+
+
+def run_session_overhead() -> str:
+    one_shot_walls, stepped_walls = [], []
+    fingerprints = set()
+    steps = 0
+    for _ in range(BENCH_REPS):
+        wall, fp = _time_one_shot()
+        one_shot_walls.append(wall)
+        fingerprints.add(fp)
+        wall, fp, steps = _time_stepped(CHUNK_TTIS)
+        stepped_walls.append(wall)
+        fingerprints.add(fp)
+    # Identity gate: without byte-equality the timing compares different
+    # computations and the overhead number is meaningless.
+    if len(fingerprints) != 1:
+        raise AssertionError(
+            f"stepped and one-shot runs diverged: {sorted(fingerprints)}"
+        )
+    one_shot = _median(one_shot_walls)
+    stepped = _median(stepped_walls)
+    overhead_pct = (stepped / one_shot - 1) * 100 if one_shot else float("nan")
+    record_bench(
+        "session_overhead",
+        {
+            "workload": {
+                "scheduler": "outran",
+                "load": LOAD,
+                "num_ues": BENCH_UES,
+                "duration_s": BENCH_DURATION_S,
+            },
+            "chunk_ttis": CHUNK_TTIS,
+            "steps_per_run": steps,
+            "reps": BENCH_REPS,
+            "one_shot_wall_s": one_shot,
+            "one_shot_spread_pct": _spread_pct(one_shot_walls),
+            "stepped_wall_s": stepped,
+            "stepped_spread_pct": _spread_pct(stepped_walls),
+            "session_overhead_pct": overhead_pct,
+            "fingerprint": fingerprints.pop(),
+        },
+    )
+    table = format_table(
+        ["path", "median wall s", "spread %"],
+        [
+            ["one-shot run()", f"{one_shot:.3f}",
+             f"{_spread_pct(one_shot_walls):.1f}"],
+            [f"session step({CHUNK_TTIS} TTIs)", f"{stepped:.3f}",
+             f"{_spread_pct(stepped_walls):.1f}"],
+        ],
+        title=f"Session-API overhead -- {overhead_pct:+.2f}% wall vs "
+        f"one-shot (budget: <= 5%), byte-identical output",
+    )
+    return record("session_overhead", table)
+
+
+@pytest.mark.benchmark(group="session")
+def test_session_overhead(benchmark):
+    print("\n" + once(benchmark, run_session_overhead))

@@ -20,6 +20,7 @@ Quickstart::
 
 from repro.sim.config import SimConfig
 from repro.sim.cell import CellSimulation, SimResult
+from repro.sim.session import SimulationSession
 from repro.core.outran import OutranScheduler
 from repro.core.mlfq import MlfqQueue, MlfqConfig
 from repro.mac.pf import (
@@ -38,6 +39,7 @@ __all__ = [
     "SimConfig",
     "CellSimulation",
     "SimResult",
+    "SimulationSession",
     "OutranScheduler",
     "MlfqQueue",
     "MlfqConfig",

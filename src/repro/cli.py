@@ -1,29 +1,36 @@
-"""Command-line interface: run cell simulations and print/save results.
+"""Command-line interface: ``repro run | sweep | explain | serve``.
 
 Examples::
 
-    python -m repro --scheduler outran --load 0.9 --ues 40 --duration 8
-    python -m repro --rat nr --mu 3 --mec --scheduler pf --json out.json
-    python -m repro --compare pf outran srjf --load 0.9
-    python -m repro --compare pf outran srjf --load 0.9 --jobs 3
-    python -m repro --scheduler outran --telemetry out.telemetry.json --profile
-    python -m repro --scheduler outran --trace trace.npz --heartbeat 1
-    python -m repro --scheduler outran --flow-trace flows.trace.json
-    python -m repro --scheduler outran --ric --ric-xapp hillclimb \\
+    python -m repro run --scheduler outran --load 0.9 --ues 40 --duration 8
+    python -m repro run --rat nr --mu 3 --mec --scheduler pf --json out.json
+    python -m repro run --compare pf outran srjf --load 0.9 --jobs 3
+    python -m repro run --scheduler outran --telemetry out.json --profile
+    python -m repro run --scheduler outran --ric --ric-xapp hillclimb \\
         --ric-period 100 --ric-report ric.json
     python -m repro explain --scheduler pf outran --load 0.9 --duration 4
     python -m repro sweep sweep.json --jobs 4 --out results.json
+    python -m repro serve --port 8711
 
-The ``sweep`` subcommand expands a declarative JSON grid (see
-``docs/RUNNER.md``) and executes it through the crash-tolerant parallel
-runner with a persistent result store, so interrupted sweeps resume from
-the last checkpoint when re-invoked.
+``run`` executes one simulation (or ``--compare`` several on the
+identical workload) and prints the FCT summary.  Bare-flag invocations
+(``python -m repro --scheduler ...``, the pre-subcommand surface) still
+work as a deprecated alias for ``run``.
 
-The ``explain`` subcommand runs with flow tracing enabled and prints the
-per-layer FCT breakdown report (see ``docs/OBSERVABILITY.md``): where
-each size bucket's completion time is spent -- TCP dynamics, core
-transport, PDCP, MAC scheduling wait, RLC buffering, HARQ recovery, air
-time -- plus the slowest individual flows with their dominant layer.
+``sweep`` expands a declarative JSON grid (see ``docs/RUNNER.md``) and
+executes it through the crash-tolerant parallel runner with a persistent
+result store, so interrupted sweeps resume from the last checkpoint when
+re-invoked.
+
+``explain`` runs with flow tracing enabled and prints the per-layer FCT
+breakdown report (see ``docs/OBSERVABILITY.md``): where each size
+bucket's completion time is spent -- TCP dynamics, core transport, PDCP,
+MAC scheduling wait, RLC buffering, HARQ recovery, air time -- plus the
+slowest individual flows with their dominant layer.
+
+``serve`` hosts resumable :class:`~repro.sim.session.SimulationSession`
+objects behind a local HTTP/JSON control API with a live Prometheus
+``/metrics`` endpoint (see ``docs/API.md``).
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -49,12 +57,21 @@ from repro.telemetry import (
 )
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="OutRAN reproduction: single-cell LTE/5G downlink "
-        "scheduling simulation",
-    )
+RUN_DESCRIPTION = (
+    "Run one single-cell LTE/5G downlink scheduling simulation (or "
+    "--compare several schedulers on the identical workload) and print "
+    "the FCT summary."
+)
+
+
+def build_parser(prog: str = "repro run") -> argparse.ArgumentParser:
+    """The ``repro run`` argument parser (also the bare-flag shim's)."""
+    parser = argparse.ArgumentParser(prog=prog, description=RUN_DESCRIPTION)
+    _add_run_arguments(parser)
+    return parser
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scheduler",
         default="outran",
@@ -170,7 +187,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the control-loop report (per-window KPIs, every "
         "control with its ack, final parameters) as JSON to PATH",
     )
-    return parser
 
 
 def _positive_float(text: str) -> float:
@@ -291,12 +307,85 @@ def _compare_parallel(args: argparse.Namespace, schedulers: Sequence[str]) -> in
     return 0
 
 
+def build_root_parser() -> argparse.ArgumentParser:
+    """The ``repro`` top-level parser: one subparser per command.
+
+    :func:`main` dispatches on ``argv[0]`` itself (each command's
+    ``*_main`` owns its parsing), so this parser exists for the help
+    surface -- ``repro --help`` and ``repro <command> --help`` render
+    from the same argument definitions the dispatch path uses.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OutRAN reproduction: single-cell LTE/5G downlink "
+        "scheduling simulation",
+        epilog="Bare flags (`repro --scheduler ...`) remain a deprecated "
+        "alias for `repro run`.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+    run = sub.add_parser(
+        "run",
+        help="run one simulation (or --compare several) and print the "
+        "FCT summary",
+        description=RUN_DESCRIPTION,
+    )
+    _add_run_arguments(run)
+    sweep = sub.add_parser(
+        "sweep",
+        help="execute a declarative run grid on a crash-tolerant, "
+        "resumable worker pool",
+        description=SWEEP_DESCRIPTION,
+    )
+    _add_sweep_arguments(sweep)
+    explain = sub.add_parser(
+        "explain",
+        help="attribute FCT to layers: per-bucket breakdown + slowest "
+        "flows",
+        description=EXPLAIN_DESCRIPTION,
+    )
+    _add_explain_arguments(explain)
+    serve = sub.add_parser(
+        "serve",
+        help="host sessions behind a local HTTP/JSON control API with "
+        "live /metrics",
+        description=SERVE_DESCRIPTION,
+    )
+    _add_serve_arguments(serve)
+    return parser
+
+
+_SUBCOMMANDS = ("run", "sweep", "explain", "serve")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run":
+        return run_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
     if argv and argv[0] == "explain":
         return explain_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] in ("-h", "--help"):
+        build_root_parser().print_help()
+        return 0
+    if argv and not argv[0].startswith("-"):
+        build_root_parser().error(
+            f"unknown command {argv[0]!r} (choose from {', '.join(_SUBCOMMANDS)})"
+        )
+    if argv:
+        warnings.warn(
+            "bare-flag invocation (`repro --scheduler ...`) is deprecated; "
+            "use `repro run ...`",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return run_main(argv)
+
+
+def run_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro run``: simulate and print/save results."""
     parser = build_parser()
     args = parser.parse_args(argv)
     schedulers = args.compare if args.compare else [args.scheduler]
@@ -396,14 +485,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+EXPLAIN_DESCRIPTION = (
+    "Run with flow tracing enabled and report where each size bucket's "
+    "FCT is spent: per-layer breakdown (TCP / core / PDCP / MAC wait / "
+    "RLC / HARQ / air) plus the slowest flows with their dominant layer."
+)
+
+
 def build_explain_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro explain",
-        description="Run with flow tracing enabled and report where each "
-        "size bucket's FCT is spent: per-layer breakdown (TCP / core / "
-        "PDCP / MAC wait / RLC / HARQ / air) plus the slowest flows with "
-        "their dominant layer.",
+        prog="repro explain", description=EXPLAIN_DESCRIPTION
     )
+    _add_explain_arguments(parser)
+    return parser
+
+
+def _add_explain_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scheduler",
         nargs="+",
@@ -447,7 +544,6 @@ def build_explain_parser() -> argparse.ArgumentParser:
         help="also write the per-flow breakdowns and per-bucket aggregates "
         "as JSON to PATH",
     )
-    return parser
 
 
 def explain_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -481,13 +577,22 @@ def explain_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+SWEEP_DESCRIPTION = (
+    "Expand a declarative sweep grid (schedulers x loads x seeds x "
+    "override variants) and execute it on a crash-tolerant worker pool "
+    "with a persistent, resumable result store."
+)
+
+
 def build_sweep_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro sweep",
-        description="Expand a declarative sweep grid (schedulers x loads x "
-        "seeds x override variants) and execute it on a crash-tolerant "
-        "worker pool with a persistent, resumable result store.",
+        prog="repro sweep", description=SWEEP_DESCRIPTION
     )
+    _add_sweep_arguments(parser)
+    return parser
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "spec",
         metavar="SPEC.json",
@@ -528,7 +633,6 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress heartbeat lines"
     )
-    return parser
 
 
 def sweep_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -595,6 +699,70 @@ def sweep_main(argv: Optional[Sequence[str]] = None) -> int:
     for failure in outcome.failures.values():
         print(f"[sweep] {failure}", file=sys.stderr)
     return 1 if outcome.failures else 0
+
+
+SERVE_DESCRIPTION = (
+    "Host resumable simulation sessions behind a local HTTP/JSON control "
+    "API: create sessions from RunSpec-shaped JSON, start/step/pause/"
+    "inspect them live, checkpoint and resume mid-run, retune scheduler "
+    "parameters through the RIC guardrails, and scrape live telemetry "
+    "from /metrics in Prometheus text format (see docs/API.md)."
+)
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description=SERVE_DESCRIPTION
+    )
+    _add_serve_arguments(parser)
+    return parser
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: %(default)s; the API is "
+        "unauthenticated -- keep it loopback unless you trust the "
+        "network)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 picks an ephemeral port and prints it "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--chunk-ttis",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="background-run chunk size in TTIs: pause/inspect/metrics "
+        "latency trades against stepping overhead (default: 1000)",
+    )
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro serve``: run the session control server."""
+    import asyncio
+
+    from repro.serve import ReproServer, ServeController
+    from repro.serve.controller import DEFAULT_CHUNK_TTIS
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    controller = ServeController(chunk_ttis=args.chunk_ttis or DEFAULT_CHUNK_TTIS)
+    server = ReproServer(controller, host=args.host, port=args.port)
+
+    def announce(host: str, port: int) -> None:
+        print(f"repro serve listening on http://{host}:{port}", flush=True)
+
+    try:
+        asyncio.run(server.serve_forever(announce=announce))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":

@@ -31,7 +31,7 @@ from repro.ric.e2 import (
     E2Indication,
     TunableParams,
 )
-from repro.ric.guardrails import GuardrailDecision, Guardrails
+from repro.ric.guardrails import GuardrailDecision, GuardrailRejection, Guardrails
 from repro.ric.hillclimb import HillClimbXApp
 from repro.ric.node import CellE2Node
 from repro.ric.ric import DEFAULT_REPORT_PERIOD_US, NearRTRIC
@@ -44,6 +44,7 @@ __all__ = [
     "E2ControlRequest",
     "E2Indication",
     "GuardrailDecision",
+    "GuardrailRejection",
     "Guardrails",
     "HillClimbXApp",
     "NearRTRIC",

@@ -26,6 +26,40 @@ from repro.core.mlfq import MlfqConfig
 from repro.ric.e2 import E2ControlRequest, TunableParams
 
 
+class GuardrailRejection(Exception):
+    """A control request the guardrails refused, as a structured error.
+
+    The E2 path itself never raises -- xApps receive a negative ack and
+    decide for themselves.  Imperative writers (session ``reconfigure``,
+    the serve API) raise this instead so a rejected change can never be
+    silently dropped; :meth:`as_dict` is the JSON error body `repro
+    serve` returns with HTTP 409.
+    """
+
+    def __init__(self, detail: str, request=None, t_us: Optional[int] = None):
+        super().__init__(detail)
+        self.detail = detail
+        self.request = request
+        self.t_us = t_us
+
+    def as_dict(self) -> dict:
+        body: dict = {"error": "guardrail_rejected", "detail": self.detail}
+        if self.t_us is not None:
+            body["t_us"] = self.t_us
+        if self.request is not None:
+            body["request"] = {
+                "xapp": self.request.xapp,
+                "epsilon": self.request.epsilon,
+                "thresholds": (
+                    list(self.request.thresholds)
+                    if self.request.thresholds is not None
+                    else None
+                ),
+                "boost_period_us": self.request.boost_period_us,
+            }
+        return body
+
+
 @dataclass(frozen=True)
 class GuardrailDecision:
     """Outcome of validating a control request against current params.

@@ -12,6 +12,7 @@ per-UE objects).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.mlfq import MlfqConfig
@@ -98,7 +99,9 @@ class CellE2Node:
                 request=request, accepted=False, detail=decision.detail, t_us=now
             )
         self.controls_accepted += 1
-        self._sim.enb.request_control(lambda: self._apply(decision))
+        # ``partial`` (not a lambda) so a session checkpoint can pickle a
+        # control that is still queued for the next TTI boundary.
+        self._sim.enb.request_control(partial(self._apply, decision))
         return E2ControlAck(
             request=request,
             accepted=True,

@@ -64,6 +64,43 @@ class NearRTRIC:
             self._task.stop()
             self._task = None
 
+    def set_period(self, period_us: int) -> None:
+        """Retune the reporting period, mid-run if the loop is running.
+
+        The next indication fires one *new* period from now (the running
+        periodic task is replaced, matching
+        ``CellSimulation.set_priority_boost_period`` semantics).
+        """
+        if period_us <= 0:
+            raise ValueError(f"reporting period must be positive: {period_us}")
+        self.period_us = period_us
+        if self._task is not None:
+            self._task.stop()
+            self._task = PeriodicTask(
+                self.node.engine, period_us, self._on_report
+            )
+
+    def replace_xapps(self, specs: Sequence[Union[str, XApp]]) -> list[XApp]:
+        """Hot-swap the loaded xApps (the serve ``reconfigure`` path).
+
+        The old set is dropped wholesale and ``specs`` loaded in its
+        place; history and the node's accept/reject counters carry over,
+        so a report spans the whole run across swaps.
+        """
+        self.xapps.clear()
+        return self.load_xapps(specs)
+
+    def describe(self) -> dict:
+        """Compact live view (the full ``report`` includes history)."""
+        return {
+            "period_us": self.period_us,
+            "xapps": [xapp.name for xapp in self.xapps],
+            "running": self._task is not None,
+            "indications": len(self.history),
+            "controls_accepted": self.node.controls_accepted,
+            "controls_rejected": self.node.controls_rejected,
+        }
+
     def _on_report(self) -> None:
         indication = self.node.indication()
         controls = []

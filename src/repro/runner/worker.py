@@ -19,21 +19,83 @@ interchangeable byte-for-byte in figure output.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 
 from repro.sim.cell import CellSimulation
 from repro.sim.config import SimConfig
 from repro.sim.metrics import SimResult
+from repro.sim.session import SimulationSession
 from repro.runner.spec import RunSpec
 from repro.runner.store import ResultStore
 
+#: Set to a TTI count to make workers checkpoint their session every N
+#: TTIs (requires a store root).  An interrupted run then resumes from
+#: its last checkpoint instead of from zero -- mid-run preemption
+#: tolerance on top of the store's run-granularity resume.  Off by
+#: default: checkpoint I/O is pure overhead when runs are short.
+CKPT_TTIS_ENV = "REPRO_WORKER_CKPT_TTIS"
 
-def execute_spec(spec: RunSpec) -> SimResult:
-    """Materialize and run one declaratively-specified simulation."""
-    cfg = spec.to_config()
-    sim = CellSimulation(cfg, scheduler=spec.scheduler)
-    return sim.run(spec.duration_s)
+
+def _checkpoint_ttis() -> Optional[int]:
+    raw = os.environ.get(CKPT_TTIS_ENV)
+    if not raw:
+        return None
+    ttis = int(raw)
+    return ttis if ttis > 0 else None
+
+
+def _checkpoint_path(store_root: str, key: str) -> Path:
+    return Path(store_root) / "session-ckpt" / f"{key}.ckpt"
+
+
+def execute_spec(
+    spec: RunSpec, checkpoint_path: Optional[Path] = None
+) -> SimResult:
+    """Materialize and run one declaratively-specified simulation.
+
+    Runs through a :class:`~repro.sim.session.SimulationSession`.  With a
+    ``checkpoint_path`` (and :data:`CKPT_TTIS_ENV` set) the session
+    checkpoints every N TTIs and resumes from an existing checkpoint
+    file -- byte-identical to an uninterrupted run, so preempted workers
+    lose at most one checkpoint interval of work.
+    """
+    ckpt_ttis = _checkpoint_ttis() if checkpoint_path is not None else None
+    if ckpt_ttis is None:
+        session = SimulationSession(
+            CellSimulation(spec.to_config(), scheduler=spec.scheduler),
+            duration_s=spec.duration_s,
+        )
+        session.start()
+        return session.finish()
+    if checkpoint_path.exists():
+        try:
+            session = SimulationSession.resume(checkpoint_path)
+        except Exception:
+            # A torn checkpoint (worker killed mid-write) must never kill
+            # the retry: fall back to a fresh run.
+            checkpoint_path.unlink(missing_ok=True)
+            session = None
+    else:
+        session = None
+    if session is None:
+        session = SimulationSession(
+            CellSimulation(spec.to_config(), scheduler=spec.scheduler),
+            duration_s=spec.duration_s,
+        )
+        session.start()
+    checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = checkpoint_path.with_suffix(".tmp")
+    while not session.done:
+        session.step(n_ttis=ckpt_ttis)
+        if not session.done:
+            session.checkpoint(tmp)
+            os.replace(tmp, checkpoint_path)  # atomic, torn-write safe
+    result = session.finish()
+    checkpoint_path.unlink(missing_ok=True)
+    return result
 
 
 def run_spec(spec: RunSpec, store_root: Optional[str] = None):
@@ -44,7 +106,8 @@ def run_spec(spec: RunSpec, store_root: Optional[str] = None):
         cached = store.get(key)
         if cached is not None:
             return key, cached
-    result = execute_spec(spec)
+    ckpt = _checkpoint_path(store_root, key) if store_root else None
+    result = execute_spec(spec, checkpoint_path=ckpt)
     if store is not None:
         store.put(key, result)
     return key, result

@@ -1,0 +1,22 @@
+"""`repro serve`: drive running simulations over a local HTTP/JSON API.
+
+The service front-end for :class:`~repro.sim.session.SimulationSession`
+(cf. the asyncio simulation-engine pattern in SNIPPETS.md): create
+sessions from RunSpec-shaped JSON, start/step/pause/inspect them live,
+checkpoint and resume mid-run, retune scheduler parameters through the
+RIC guardrail path, and scrape every hosted session's telemetry as a
+live Prometheus endpoint.
+
+* :mod:`repro.serve.controller` -- transport-agnostic session registry
+  and control logic (:class:`ServeController`); fully testable without
+  sockets.
+* :mod:`repro.serve.http` -- the stdlib-asyncio HTTP/1.1 front-end
+  (:class:`ReproServer`) and the endpoint table.
+
+See docs/API.md for the endpoint reference and a curl walkthrough.
+"""
+
+from repro.serve.controller import ApiError, ServeController
+from repro.serve.http import ReproServer
+
+__all__ = ["ApiError", "ReproServer", "ServeController"]

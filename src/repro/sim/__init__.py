@@ -3,6 +3,13 @@
 from repro.sim.engine import EventEngine
 from repro.sim.config import SimConfig
 from repro.sim.cell import CellSimulation, SimResult
+from repro.sim.session import (
+    CheckpointError,
+    SessionError,
+    SimulationSession,
+    result_fingerprint,
+    result_fingerprint_payload,
+)
 from repro.sim.multicell import MultiCellSimulation, PooledResult
 from repro.sim.replicate import ReplicationReport, run_replications
 from repro.sim.trace import SchedulingTrace
@@ -12,6 +19,11 @@ __all__ = [
     "SimConfig",
     "CellSimulation",
     "SimResult",
+    "SimulationSession",
+    "SessionError",
+    "CheckpointError",
+    "result_fingerprint",
+    "result_fingerprint_payload",
     "MultiCellSimulation",
     "PooledResult",
     "SchedulingTrace",

@@ -14,6 +14,7 @@ scheduling only).
 from __future__ import annotations
 
 import sys
+from functools import partial
 from time import perf_counter_ns
 from typing import Callable, Optional, Sequence, TextIO, Union
 
@@ -145,7 +146,7 @@ class CellSimulation:
                 channel=self.channel.add_ue(i),
                 use_mlfq=self._use_mlfq,
                 deliver_sdu=self._deliver_sdu,
-                on_sdu_dropped=lambda sdu: None,  # counted at the xNodeB
+                on_sdu_dropped=self._on_sdu_dropped,  # counted at the xNodeB
                 on_sdu_dequeued=self._on_sdu_dequeued,
             )
             for i in range(config.num_ues)
@@ -168,7 +169,11 @@ class CellSimulation:
         # config value is only the starting point.
         self._boost_period_us = config.priority_reset_period_us
         self._reset_task: Optional[PeriodicTask] = None
+        self._tti_task: Optional[PeriodicTask] = None
+        self._cqi_task: Optional[PeriodicTask] = None
         self._run_started = False
+        self._harvested = False
+        self._duration_s: Optional[float] = None
         self._completion_hooks: dict[int, Callable[[int], None]] = {}
         if self.flow_trace is not None:
             self._wire_flow_trace()
@@ -271,17 +276,15 @@ class CellSimulation:
             spec.flow_id,
             five_tuple,
             spec.size_bytes,
-            send_ack=lambda ack: self._route_ack(ack),
-            on_complete=lambda now: self._on_flow_complete(spec, now),
+            send_ack=self._route_ack,
+            on_complete=partial(self._on_flow_complete, spec),
         )
         sender = TcpFlow(
             self.engine,
             spec.flow_id,
             five_tuple,
             spec.size_bytes,
-            route_data=lambda pkt: self.engine.schedule_in(
-                self.config.server_delay_us, self.enb.ingress, spec.ue_index, pkt
-            ),
+            route_data=partial(self._route_to_enb, spec.ue_index),
             min_rto_us=self.config.tcp_min_rto_us,
             initial_cwnd_segments=self.config.tcp_initial_cwnd,
             on_sender_done=self._on_sender_done,
@@ -295,6 +298,14 @@ class CellSimulation:
         ue.active_runtimes[spec.flow_id] = runtime
         self.metrics.on_flow_started()
         sender.start()
+
+    def _route_to_enb(self, ue_index: int, pkt: Packet) -> None:
+        self.engine.schedule_in(
+            self.config.server_delay_us, self.enb.ingress, ue_index, pkt
+        )
+
+    def _on_sdu_dropped(self, sdu: RlcSdu) -> None:
+        pass  # counted at the xNodeB
 
     def _route_ack(self, ack: Packet) -> None:
         delay = self.config.ul_delay_us + self.config.server_delay_us
@@ -381,31 +392,60 @@ class CellSimulation:
         Arrivals cover ``[0, duration_s)``; the simulation then runs an
         extra ``drain_s`` so in-flight flows can finish (the remainder is
         reported as censored).
+
+        .. deprecated::
+            ``run()`` is now a thin shim over
+            :class:`~repro.sim.session.SimulationSession`, which adds
+            stepping, pause/inspect, and mid-run checkpoints.  It stays
+            supported for one-shot callers.
         """
+        from repro.sim.session import SimulationSession
+
+        session = SimulationSession(self, duration_s=duration_s, drain_s=drain_s)
+        session.start()
+        return session.finish()
+
+    # -- session internals -------------------------------------------------
+    #
+    # ``SimulationSession`` owns the event-loop stepping between these two
+    # halves of the old one-shot ``run()``; keeping them on the simulation
+    # keeps every wiring detail next to the state it touches.
+
+    def _setup_run(self, duration_s: float, drain_s: float = 2.0) -> int:
+        """Schedule the workload and periodic tasks; return the end time."""
         if duration_s <= 0:
             raise ValueError(f"duration must be positive: {duration_s}")
+        if self._run_started:
+            raise RuntimeError("simulation already started")
         flows = self._make_flows(duration_s)
         for spec in flows:
             self.engine.schedule_at(spec.start_us, self._start_flow, spec)
         tti = self.config.tti_us
         self._run_started = True
-        tti_task = PeriodicTask(self.engine, tti, self.enb.on_tti, start_us=tti)
+        self._duration_s = duration_s
+        self._tti_task = PeriodicTask(
+            self.engine, tti, self.enb.on_tti, start_us=tti
+        )
         cqi_period_us = max(
             microseconds(self.config.scenario.cqi_period_s), tti
         )
-        cqi_task = PeriodicTask(self.engine, cqi_period_us, self._on_cqi_update)
+        self._cqi_task = PeriodicTask(self.engine, cqi_period_us, self._on_cqi_update)
         if self._boost_period_us is not None:
             self._reset_task = PeriodicTask(
                 self.engine,
                 self._boost_period_us,
                 self._on_priority_reset,
             )
-        t0 = perf_counter_ns()
-        with self.profiler.run():
-            self.engine.run_until(microseconds(duration_s + drain_s))
-        self._run_wall_ns = perf_counter_ns() - t0
-        tti_task.stop()
-        cqi_task.stop()
+        return microseconds(duration_s + drain_s)
+
+    def _teardown_run(self) -> None:
+        """Stop periodic tasks and fold lifetime counters into metrics."""
+        if self._tti_task is not None:
+            self._tti_task.stop()
+            self._tti_task = None
+        if self._cqi_task is not None:
+            self._cqi_task.stop()
+            self._cqi_task = None
         if self._reset_task is not None:
             self._reset_task.stop()
             self._reset_task = None
@@ -416,9 +456,12 @@ class CellSimulation:
         self.enb.finalize()
         self._harvest_counters()
         self._harvest_telemetry()
+        self._harvested = True
+
+    def _build_result(self) -> SimResult:
         return SimResult(
             self.metrics,
-            duration_s,
+            self._duration_s,
             scheduler_name=self.scheduler.name,
             flow_sizes=self._flow_sizes,
             extra={
@@ -525,24 +568,28 @@ class CellSimulation:
             emit=emit,
             stream=stream if (stream is not None or emit is not None) else sys.stderr,
             sources={
-                "active_flows": lambda: sum(
-                    len(ue.active_runtimes) for ue in self.ues
-                ),
-                "flows_done": lambda: len(self.metrics.records),
+                "active_flows": self._count_active_flows,
+                "flows_done": self._count_completed_flows,
             },
         )
         if self.enb.trace is not None:
-            trace = self.enb.trace
-            heartbeat.add_source(
-                "trace_mb", lambda: trace.memory_bytes() / 1e6
-            )
+            heartbeat.add_source("trace_mb", self._trace_mb)
         if self.flow_trace is not None:
-            tracer = self.flow_trace
             heartbeat.add_source(
-                "flowtrace_events", lambda: tracer.memory_events()
+                "flowtrace_events", self.flow_trace.memory_events
             )
         self._heartbeat = heartbeat
         return heartbeat
+
+    def _count_active_flows(self) -> int:
+        return sum(len(ue.active_runtimes) for ue in self.ues)
+
+    def _count_completed_flows(self) -> int:
+        return len(self.metrics.records)
+
+    def _trace_mb(self) -> float:
+        trace = self.enb.trace
+        return trace.memory_bytes() / 1e6 if trace is not None else 0.0
 
     def telemetry_snapshot(self) -> Optional[dict]:
         """Registry snapshot plus profiler breakdown (None when disabled)."""
@@ -559,14 +606,45 @@ class CellSimulation:
             snapshot["profile"] = self.profiler.report()
         return snapshot
 
-    def _harvest_telemetry(self) -> None:
+    def live_telemetry_snapshot(self) -> dict:
+        """Registry-shaped snapshot of the *current* state (mid-run safe).
+
+        The end-of-run path folds lifetime counters into the attached
+        registry exactly once; a live scrape instead harvests the same
+        pure reads into a throwaway registry, so it can run any number of
+        times without perturbing the final accounting.  Works even with
+        telemetry disabled -- the scrape pays the harvest cost, the
+        simulation hot paths pay nothing.
+        """
+        if self._harvested and self.telemetry.enabled:
+            return self.telemetry_snapshot() or {}
+        live = TelemetryRegistry()
+        self._harvest_telemetry(live)
+        snapshot = live.snapshot()
+        if self.telemetry.enabled:
+            # Live-instrumented metrics (per-TTI latency histograms) exist
+            # only in the attached registry; overlay them.
+            snapshot["histograms"].update(self.telemetry.snapshot()["histograms"])
+        if self.enb.backend_fallback_reason is not None:
+            snapshot["backend"] = {
+                "requested": self.config.backend,
+                "effective": "reference",
+                "fallback_reason": self.enb.backend_fallback_reason,
+            }
+        if self.profiler.enabled:
+            snapshot["profile"] = self.profiler.report()
+        return snapshot
+
+    def _harvest_telemetry(self, reg: Optional[TelemetryRegistry] = None) -> None:
         """Fold every layer's lifetime counters into the registry.
 
         Pure reads: harvesting cannot perturb the simulation, and the
         plain-integer counters it collects cost the hot paths nothing when
-        telemetry is disabled.
+        telemetry is disabled.  ``reg`` overrides the attached registry
+        (live scrapes harvest into a throwaway one).
         """
-        reg = self.telemetry
+        if reg is None:
+            reg = self.telemetry
         if not reg.enabled:
             return
         # engine --------------------------------------------------------
@@ -583,7 +661,7 @@ class CellSimulation:
                 wall_s / max(stats["now_us"] / 1e6, 1e-9)
             )
         # MAC -----------------------------------------------------------
-        self.enb.harvest_telemetry()
+        self.enb.harvest_telemetry(reg)
         # RLC / PDCP / MLFQ ---------------------------------------------
         rlc_tx = {"sdus_sent": 0, "pdus_built": 0, "segments_sent": 0,
                   "sdus_dropped": 0}

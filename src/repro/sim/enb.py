@@ -434,13 +434,17 @@ class XNodeB:
 
     # -- telemetry -------------------------------------------------------------
 
-    def harvest_telemetry(self) -> None:
+    def harvest_telemetry(self, reg=None) -> None:
         """Fold the MAC layer's lifetime counters into the registry.
 
         Called once, at the end of a run; counters accumulate when several
         cells share one registry (multi-cell runs, benchmark suites).
+        Passing ``reg`` harvests into that registry instead of the
+        attached one -- live mid-run scrapes use a throwaway registry so
+        the end-of-run harvest still starts from zero.
         """
-        reg = self._tel
+        if reg is None:
+            reg = self._tel
         if not reg.enabled:
             return
         reg.counter("mac.ttis_run").inc(self.ttis_run)

@@ -101,9 +101,27 @@ class MultiCellSimulation:
             for cell in range(num_cells)
         ]
 
+    def sessions(self, duration_s: float, drain_s: float = 2.0) -> list:
+        """One :class:`~repro.sim.session.SimulationSession` per cell.
+
+        Cells are independent event engines, so a driver may interleave
+        ``step()`` calls across them in any order (e.g. round-robin in
+        sim-time slices for a live multi-cell dashboard, or a periodic
+        inter-cell exchange step) without changing any cell's outcome.
+        """
+        from repro.sim.session import SimulationSession
+
+        return [
+            SimulationSession(cell, duration_s=duration_s, drain_s=drain_s)
+            for cell in self.cells
+        ]
+
     def run(self, duration_s: float, drain_s: float = 2.0) -> PooledResult:
-        """Run every cell and pool the results."""
-        results = [cell.run(duration_s, drain_s=drain_s) for cell in self.cells]
+        """Run every cell (via per-cell sessions) and pool the results."""
+        results = []
+        for session in self.sessions(duration_s, drain_s=drain_s):
+            session.start()
+            results.append(session.finish())
         return PooledResult(
             results, telemetry=self.cells[-1].telemetry_snapshot()
         )

@@ -59,6 +59,10 @@ class UeContext:
         self.index = index
         self.config = config
         self.channel = channel
+        # Stored (not captured in closures) so a checkpoint can pickle the
+        # whole UE graph: every callback handed to the RLC entities below is
+        # a bound method of this object.
+        self._deliver_cb = deliver_sdu
         mlfq_config = config.mlfq if use_mlfq else MlfqConfig.single_queue()
         self.flow_table = FlowTable(mlfq_config, idle_timeout_us=FLOW_IDLE_TIMEOUT_US)
         # TM never reorders and takes no numbering hook, so it always uses
@@ -66,10 +70,6 @@ class UeContext:
         delayed_sn = config.delayed_sn and config.rlc_mode != "tm"
         self.pdcp = PdcpEntity(self.flow_table, delayed_sn=delayed_sn)
         self.pdcp_rx = PdcpReceiver(reorder_window=config.pdcp_reorder_window)
-
-        def _number_sdu(sdu: RlcSdu) -> None:
-            if sdu.pdcp_sn is None:  # delayed numbering at first transmission
-                sdu.pdcp_sn = self.pdcp.egress(sdu.packet, None).sn
 
         overflow_policy = config.rlc_overflow_policy
         if overflow_policy is None:
@@ -81,7 +81,7 @@ class UeContext:
             promote_segments=config.promote_segments,
             on_sdu_dropped=on_sdu_dropped,
             on_sdu_dequeued=on_sdu_dequeued,
-            on_sdu_first_tx=_number_sdu if delayed_sn else None,
+            on_sdu_first_tx=self._number_sdu if delayed_sn else None,
         )
         self.rlc: Union[UmTransmitter, AmTransmitter, TmTransmitter]
         self.rlc_rx: Union[UmReceiver, AmReceiver, TmReceiver]
@@ -91,24 +91,27 @@ class UeContext:
                 capacity_sdus=config.rlc_capacity_sdus,
                 on_sdu_dropped=on_sdu_dropped,
             )
-            self.rlc_rx = TmReceiver(
-                deliver=lambda sdu, now: deliver_sdu(self, sdu, now)
-            )
+            self.rlc_rx = TmReceiver(deliver=self._deliver)
         elif config.rlc_mode == "am":
             self.rlc = AmTransmitter(index, **rlc_kwargs)
-            self.rlc_rx = AmReceiver(
-                deliver=lambda sdu, now: deliver_sdu(self, sdu, now)
-            )
+            self.rlc_rx = AmReceiver(deliver=self._deliver)
         else:
             self.rlc = UmTransmitter(index, **rlc_kwargs)
             self.rlc_rx = UmReceiver(
-                deliver=lambda sdu, now: deliver_sdu(self, sdu, now),
+                deliver=self._deliver,
                 reassembly_window_us=config.reassembly_window_us,
                 fast_expiry=config.backend == "vectorized",
             )
         self.sched = UeSchedState(index, index)
         self.receivers: dict[int, "TcpReceiver"] = {}
         self.active_runtimes: dict[int, FlowRuntime] = {}
+
+    def _deliver(self, sdu: RlcSdu, now_us: int) -> None:
+        self._deliver_cb(self, sdu, now_us)
+
+    def _number_sdu(self, sdu: RlcSdu) -> None:
+        if sdu.pdcp_sn is None:  # delayed numbering at first transmission
+            sdu.pdcp_sn = self.pdcp.egress(sdu.packet, None).sn
 
     def attach_flow_tracer(self, tracer) -> None:
         """Route this UE's PDCP/RLC flow-lifecycle events to ``tracer``."""

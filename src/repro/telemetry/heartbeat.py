@@ -15,6 +15,7 @@ relative ordering of all other events).
 
 from __future__ import annotations
 
+import sys
 from time import perf_counter_ns
 from typing import Callable, Optional, TextIO
 
@@ -104,3 +105,29 @@ class Heartbeat:
 
     def stop(self) -> None:
         self._task.stop()
+
+    # -- pickling (session checkpoints) ---------------------------------
+    #
+    # The output stream is process state, not simulation state: map the
+    # standard streams to sentinels so a checkpointed run that heartbeats
+    # to stderr resumes heartbeating to the *resuming* process's stderr.
+    # Wall-clock anchors are re-based on restore so the first post-resume
+    # beat reports a sane rate instead of one diluted by time spent on
+    # disk.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        stream = state["_stream"]
+        if stream is sys.stderr:
+            state["_stream"] = "<stderr>"
+        elif stream is sys.stdout:
+            state["_stream"] = "<stdout>"
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        if state.get("_stream") == "<stderr>":
+            state["_stream"] = sys.stderr
+        elif state.get("_stream") == "<stdout>":
+            state["_stream"] = sys.stdout
+        self.__dict__.update(state)
+        self._last_wall_ns = perf_counter_ns()

@@ -121,6 +121,14 @@ class _NullProfiler(Profiler):
     def report(self) -> dict:
         return {"total_s": 0.0, "phases": {}, "other_s": 0.0}
 
+    def __reduce__(self):
+        # Checkpoints restore the shared singleton, mirroring NULL_REGISTRY.
+        return (_null_profiler, ())
+
+
+def _null_profiler() -> "_NullProfiler":
+    return NULL_PROFILER
+
 
 #: The process-wide disabled profiler.
 NULL_PROFILER = _NullProfiler()

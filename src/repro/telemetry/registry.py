@@ -242,6 +242,16 @@ class _NullRegistry(TelemetryRegistry):
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
+    def __reduce__(self):
+        # Pickle as a reference to the process-wide singleton so session
+        # checkpoints of telemetry-disabled runs restore the shared no-op
+        # registry instead of growing private copies.
+        return (_null_registry, ())
+
+
+def _null_registry() -> "_NullRegistry":
+    return NULL_REGISTRY
+
 
 #: The process-wide disabled registry; instrument against this by default.
 NULL_REGISTRY = _NullRegistry()

@@ -77,6 +77,42 @@ def run_case(name, backend="reference"):
     }
 
 
+#: The golden *checkpoint*: a mid-run session snapshot whose resume must
+#: keep producing the pinned fingerprint.  Catches checkpoint-format
+#: breakage (renamed attributes, changed pickle layout) that the JSON
+#: corpus cannot see.  (scheduler, rlc_mode, duration_s, checkpoint TTI)
+SESSION_CASE = ("outran", "um", 0.4, 150)
+
+
+def regen_session_checkpoint():
+    from repro import CellSimulation, SimConfig
+    from repro.sim.session import SimulationSession, result_fingerprint
+
+    scheduler, rlc_mode, duration_s, ckpt_ttis = SESSION_CASE
+    cfg = SimConfig.lte_default(rlc_mode=rlc_mode, **BASE_KWARGS)
+    session = SimulationSession(
+        CellSimulation(cfg, scheduler=scheduler), duration_s
+    ).start()
+    session.step(n_ttis=ckpt_ttis)
+    ckpt_path = GOLDEN_DIR / "session-outran-um.ckpt"
+    meta = session.checkpoint(ckpt_path)
+    result = session.finish()
+    payload = {
+        "scheduler": scheduler,
+        "rlc_mode": rlc_mode,
+        "duration_s": duration_s,
+        "config": BASE_KWARGS,
+        "checkpoint_now_us": meta["now_us"],
+        "completed_flows": result.completed_flows,
+        "fingerprint": result_fingerprint(result),
+    }
+    meta_path = GOLDEN_DIR / "session-outran-um.json"
+    meta_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {ckpt_path.relative_to(GOLDEN_DIR.parent.parent)} "
+          f"({meta['bytes']} bytes at t={meta['now_us']}us) "
+          f"+ {meta_path.name}")
+
+
 def main():
     for name in CASES:
         payload = run_case(name)
@@ -86,6 +122,7 @@ def main():
         )
         print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)} "
               f"({payload['summary']['completed_flows']} flows)")
+    regen_session_checkpoint()
     return 0
 
 

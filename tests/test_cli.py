@@ -6,6 +6,8 @@ import pytest
 
 from repro.cli import (
     build_parser,
+    build_root_parser,
+    build_serve_parser,
     build_sweep_parser,
     config_from_args,
     main,
@@ -158,3 +160,65 @@ class TestSweepCommand:
         assert args.jobs == 1
         assert args.store == ".repro-store"
         assert args.max_attempts == 3
+
+
+class TestSubcommandTree:
+    """The `repro run|sweep|explain|serve` surface and its help text."""
+
+    def test_root_help_lists_every_command(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for command in ("run", "sweep", "explain", "serve"):
+            assert command in out
+        assert "deprecated alias" in out  # the bare-flag note
+
+    @pytest.mark.parametrize("command", ["run", "sweep", "explain", "serve"])
+    def test_subcommand_help_renders(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_root_parser().parse_args([command, "--help"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out
+
+    def test_run_help_snapshot(self, capsys):
+        """Flags the docs promise on `repro run` stay present."""
+        with pytest.raises(SystemExit):
+            main(["run", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--scheduler", "--compare", "--backend", "--telemetry",
+                     "--ric", "--jobs", "--flow-trace"):
+            assert flag in out
+
+    def test_serve_help_snapshot(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        for needle in ("--host", "--port", "--chunk-ttis", "/metrics"):
+            assert needle in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+
+    def test_serve_parser_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.chunk_ttis is None
+
+    def test_run_subcommand_equals_bare_flags(self, capsys):
+        argv = ["--ues", "3", "--load", "0.4", "--duration", "1", "--seed", "2"]
+        assert main(["run"] + argv) == 0
+        via_run = capsys.readouterr().out
+        with pytest.warns(DeprecationWarning, match="repro run"):
+            assert main(argv) == 0
+        assert capsys.readouterr().out == via_run
+
+    def test_bare_flags_warn_deprecation(self):
+        with pytest.warns(DeprecationWarning):
+            main(["--ues", "2", "--load", "0.3", "--duration", "0.3"])
+
+    def test_run_subcommand_does_not_warn(self, recwarn):
+        main(["run", "--ues", "2", "--load", "0.3", "--duration", "0.3"])
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]

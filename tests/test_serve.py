@@ -1,0 +1,275 @@
+"""Tests for the serve control surface (repro.serve).
+
+Most coverage drives :class:`ServeController` directly -- it is the
+whole API minus the socket.  One end-to-end class exercises the asyncio
+HTTP front-end over a real loopback socket with urllib, including the
+serve-vs-offline fingerprint identity the CI serve-smoke job asserts.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runner.spec import RunSpec
+from repro.runner.worker import execute_spec
+from repro.serve import ApiError, ReproServer, ServeController
+from repro.sim.session import result_fingerprint
+
+SPEC = {
+    "scheduler": "outran",
+    "load": 0.5,
+    "num_ues": 3,
+    "seed": 9,
+    "duration_s": 0.4,
+}
+
+#: The serve options for identity tests: the offline baseline
+#: (execute_spec) is uninstrumented, and the fingerprint deliberately
+#: covers the telemetry snapshot, so identical bytes require identical
+#: instrumentation on both sides.
+BARE = dict(SPEC, telemetry=False)
+
+
+def offline_fingerprint() -> str:
+    spec = RunSpec(rat="lte", **SPEC)
+    return result_fingerprint(execute_spec(spec))
+
+
+def api_error(fn, *args):
+    with pytest.raises(ApiError) as exc:
+        fn(*args)
+    return exc.value
+
+
+class TestControllerLifecycle:
+    def test_create_start_step_finish(self):
+        ctl = ServeController()
+        created = ctl.create_session(dict(BARE))
+        sid = created["id"]
+        assert created["state"] == "new"
+        assert created["spec"]["scheduler"] == "outran"
+        ctl.start(sid)
+        out = ctl.step(sid, {"n_ttis": 100})
+        assert out["now_us"] == 100_000
+        done = ctl.finish(sid)
+        assert done["state"] == "finished"
+        assert done["result"]["completed_flows"] > 0
+        assert done["fingerprint"] == offline_fingerprint()
+
+    def test_finish_is_idempotent_over_api(self):
+        ctl = ServeController()
+        sid = ctl.create_session(dict(SPEC))["id"]
+        ctl.start(sid)
+        first = ctl.finish(sid)
+        assert ctl.finish(sid) == first
+
+    def test_list_and_healthz(self):
+        ctl = ServeController()
+        a = ctl.create_session(dict(SPEC))["id"]
+        b = ctl.create_session(dict(SPEC))["id"]
+        listed = ctl.list_sessions()["sessions"]
+        assert {s["id"] for s in listed} == {a, b}
+        health = ctl.healthz()
+        assert health["status"] == "ok"
+        assert health["sessions"] == 2
+
+    def test_ids_are_sequential(self):
+        ctl = ServeController()
+        assert ctl.create_session(dict(SPEC))["id"] == "s1"
+        assert ctl.create_session(dict(SPEC))["id"] == "s2"
+
+
+class TestControllerValidation:
+    def test_unknown_session_404(self):
+        err = api_error(ServeController().describe, "zzz")
+        assert err.status == 404
+
+    def test_unknown_field_400(self):
+        err = api_error(ServeController().create_session, {"bogus": 1})
+        assert err.status == 400
+        assert "bogus" in err.detail
+
+    def test_bad_spec_400(self):
+        err = api_error(
+            ServeController().create_session, dict(SPEC, scheduler="nope")
+        )
+        assert err.status == 400
+        assert err.error == "bad_spec"
+
+    def test_step_before_start_409(self):
+        ctl = ServeController()
+        sid = ctl.create_session(dict(SPEC))["id"]
+        err = api_error(ctl.step, sid, {"n_ttis": 10})
+        assert err.status == 409
+        assert err.error == "bad_state"
+
+    def test_guardrail_rejection_409(self):
+        ctl = ServeController()
+        sid = ctl.create_session(dict(SPEC))["id"]
+        ctl.start(sid)
+        with pytest.raises(ApiError) as exc:
+            ctl.reconfigure(sid, {"thresholds": [100_000, 50_000, 20_000]})
+        assert exc.value.status == 409
+        assert exc.value.error == "guardrail_rejected"
+        ctl.finish(sid)
+
+    def test_resume_missing_file_404(self):
+        err = api_error(
+            ServeController().resume_session, {"path": "/nonexistent.ckpt"}
+        )
+        assert err.status == 404
+
+
+class TestBackgroundRun:
+    def test_run_pause_resume_finish(self):
+        ctl = ServeController(chunk_ttis=100)
+        sid = ctl.create_session(dict(BARE))["id"]
+        ctl.start(sid)
+        out = ctl.run(sid)
+        assert out["background"] is True
+        # stepping while a background run owns the session is refused
+        err = api_error(ctl.step, sid, {"n_ttis": 10})
+        assert err.status == 409
+        paused = ctl.pause(sid)
+        assert paused["background"] is False
+        # a paused run continues to the same bytes as the offline path
+        assert ctl.finish(sid)["fingerprint"] == offline_fingerprint()
+
+    def test_run_to_completion(self):
+        ctl = ServeController(chunk_ttis=100_000)  # one chunk covers the run
+        sid = ctl.create_session(dict(BARE))["id"]
+        ctl.start(sid)
+        ctl.run(sid)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if not ctl.describe(sid)["background"]:
+                break
+            time.sleep(0.05)
+        desc = ctl.describe(sid)
+        assert desc["now_us"] == desc["end_us"]
+        assert "run_error" not in desc
+        assert ctl.finish(sid)["fingerprint"] == offline_fingerprint()
+
+    def test_checkpoint_mid_background_refused(self, tmp_path):
+        ctl = ServeController(chunk_ttis=50)
+        sid = ctl.create_session(dict(SPEC))["id"]
+        ctl.start(sid)
+        ctl.run(sid)
+        err = api_error(ctl.checkpoint, sid, {"path": str(tmp_path / "x.ckpt")})
+        assert err.status == 409
+        ctl.pause(sid)
+        ctl.finish(sid)
+
+
+class TestCheckpointOverApi:
+    def test_checkpoint_and_resume_round_trip(self, tmp_path):
+        ctl = ServeController()
+        sid = ctl.create_session(dict(BARE))["id"]
+        ctl.start(sid)
+        ctl.step(sid, {"n_ttis": 150})
+        path = tmp_path / "api.ckpt"
+        meta = ctl.checkpoint(sid, {"path": str(path)})
+        assert meta["now_us"] == 150_000
+        resumed = ctl.resume_session({"path": str(path)})
+        assert resumed["resumed"] is True
+        assert resumed["now_us"] == 150_000
+        fp_original = ctl.finish(sid)["fingerprint"]
+        fp_resumed = ctl.finish(resumed["id"])["fingerprint"]
+        assert fp_original == fp_resumed == offline_fingerprint()
+
+
+class TestMetricsAndTelemetry:
+    def test_live_metrics_exposition(self):
+        ctl = ServeController()
+        sid = ctl.create_session(dict(SPEC))["id"]
+        ctl.start(sid)
+        ctl.step(sid, {"n_ttis": 200})
+        text = ctl.metrics()
+        assert f'repro_session{{id="{sid}"' in text
+        assert f'repro_session_now_us{{id="{sid}"}} 200000' in text
+        assert "repro_engine_events_processed" in text
+        # scraping twice mid-run is repeatable and non-destructive
+        assert ctl.metrics() == text
+        ctl.finish(sid)
+
+    def test_describe_with_telemetry_snapshot(self):
+        ctl = ServeController()
+        sid = ctl.create_session(dict(SPEC))["id"]
+        ctl.start(sid)
+        ctl.step(sid, {"n_ttis": 100})
+        desc = ctl.describe(sid, telemetry=True)
+        assert desc["telemetry"]["counters"]
+        ctl.finish(sid)
+
+    def test_heartbeat_lines_surface_in_healthz(self):
+        ctl = ServeController()
+        sid = ctl.create_session(dict(SPEC, heartbeat_s=0.1))["id"]
+        ctl.start(sid)
+        ctl.step(sid, {"n_ttis": 300})
+        assert ctl.healthz()["heartbeats"][sid]
+
+
+class TestHttpEndToEnd:
+    @pytest.fixture
+    def server(self):
+        server = ReproServer(ServeController(chunk_ttis=100))
+        port = server.start_background()
+        yield f"http://127.0.0.1:{port}"
+        server.stop()
+
+    @staticmethod
+    def request(base, method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(base + path, data=data, method=method)
+        if data:
+            req.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                raw = resp.read()
+                if "text/plain" in resp.headers.get("Content-Type", ""):
+                    return resp.status, raw.decode()
+                return resp.status, json.loads(raw)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def test_full_session_over_http(self, server, tmp_path):
+        st, created = self.request(server, "POST", "/sessions", dict(BARE))
+        assert st == 200
+        sid = created["id"]
+        assert self.request(server, "POST", f"/sessions/{sid}/start")[0] == 200
+        st, out = self.request(
+            server, "POST", f"/sessions/{sid}/step", {"n_ttis": 150}
+        )
+        assert st == 200 and out["now_us"] == 150_000
+        st, meta = self.request(
+            server, "POST", f"/sessions/{sid}/checkpoint",
+            {"path": str(tmp_path / "http.ckpt")},
+        )
+        assert st == 200 and meta["now_us"] == 150_000
+        st, metrics = self.request(server, "GET", "/metrics")
+        assert st == 200 and "repro_session_now_us" in metrics
+        st, done = self.request(server, "POST", f"/sessions/{sid}/finish")
+        assert st == 200 and done["state"] == "finished"
+        assert done["fingerprint"] == offline_fingerprint()
+        # resume the checkpoint as a second session: same bytes again
+        st, resumed = self.request(
+            server, "POST", "/sessions/resume",
+            {"path": str(tmp_path / "http.ckpt")},
+        )
+        assert st == 200 and resumed["resumed"] is True
+        st, done2 = self.request(
+            server, "POST", f"/sessions/{resumed['id']}/finish"
+        )
+        assert st == 200 and done2["fingerprint"] == done["fingerprint"]
+
+    def test_http_error_mapping(self, server):
+        assert self.request(server, "GET", "/sessions/zzz")[0] == 404
+        assert self.request(server, "GET", "/nope")[0] == 404
+        st, body = self.request(server, "POST", "/sessions", {"bogus": 1})
+        assert st == 400 and body["error"] == "unknown_field"
+        assert self.request(server, "DELETE", "/sessions")[0] == 405
+        st, health = self.request(server, "GET", "/healthz")
+        assert st == 200 and health["status"] == "ok"

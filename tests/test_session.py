@@ -1,0 +1,344 @@
+"""Tests for resumable simulation sessions (repro.sim.session).
+
+The load-bearing guarantee: a run driven as start / step ... checkpoint /
+resume ... finish is **byte-identical** to `CellSimulation.run()` -- same
+FCT records, same telemetry counters, same flow breakdowns -- on both
+backends, for every scheduler family and RLC mode.  Identity is asserted
+through `result_fingerprint`, the same canonical hash CI's serve-smoke
+job uses.
+"""
+
+import json
+import pickle
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.spec import RunSpec
+from repro.runner.worker import CKPT_TTIS_ENV, _checkpoint_path, execute_spec, run_spec
+from repro.sim.cell import CellSimulation
+from repro.sim.config import SimConfig
+from repro.sim.session import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    SessionError,
+    SimulationSession,
+    result_fingerprint,
+    result_fingerprint_payload,
+)
+from repro.telemetry import TelemetryRegistry
+
+DURATION_S = 0.4
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def make_sim(scheduler="outran", rlc_mode="um", backend="reference", **kwargs):
+    cfg = SimConfig.lte_default(
+        num_ues=3, load=0.5, seed=5, rlc_mode=rlc_mode, backend=backend, **kwargs
+    )
+    return CellSimulation(cfg, scheduler=scheduler)
+
+
+def one_shot(scheduler="outran", rlc_mode="um", backend="reference"):
+    return make_sim(scheduler, rlc_mode, backend).run(DURATION_S)
+
+
+class TestStateMachine:
+    def test_step_requires_start(self):
+        session = SimulationSession(make_sim(), DURATION_S)
+        with pytest.raises(SessionError, match="expected running"):
+            session.step(n_ttis=10)
+
+    def test_checkpoint_requires_start(self, tmp_path):
+        session = SimulationSession(make_sim(), DURATION_S)
+        with pytest.raises(SessionError):
+            session.checkpoint(tmp_path / "x.ckpt")
+
+    def test_double_start_rejected(self):
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        with pytest.raises(SessionError, match="running"):
+            session.start()
+
+    def test_finish_is_idempotent(self):
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        first = session.finish()
+        assert session.finish() is first
+        assert session.result is first
+        assert session.state == "finished"
+
+    def test_step_after_finish_rejected(self):
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        session.finish()
+        with pytest.raises(SessionError):
+            session.step(n_ttis=1)
+
+    def test_bad_durations_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationSession(make_sim(), 0.0)
+        with pytest.raises(ValueError):
+            SimulationSession(make_sim(), 1.0, drain_s=-1.0)
+
+    def test_step_argument_validation(self):
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        with pytest.raises(ValueError, match="not both"):
+            session.step(n_ttis=5, until_us=100)
+        with pytest.raises(ValueError, match="positive"):
+            session.step(n_ttis=0)
+        session.finish()
+
+    def test_step_never_moves_backwards(self):
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        session.step(n_ttis=50)
+        at = session.now_us
+        session.step(until_us=at - 10_000)  # clamps to now, not backwards
+        assert session.now_us == at
+        session.finish()
+
+    def test_progress_and_snapshot_shape(self):
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        session.step(n_ttis=100)
+        progress = session.progress()
+        assert progress["state"] == "running"
+        assert progress["now_us"] == 100_000
+        assert 0 < progress["progress"] < 1
+        snap = session.snapshot()
+        assert snap["scheduler"].startswith("outran")
+        assert snap["backend"] == "reference"
+        assert snap["mlfq_thresholds"]
+        assert snap["resumed"] is False
+        session.finish()
+
+
+GRID = [
+    ("outran", "um"),
+    ("outran", "am"),
+    ("pf", "um"),
+    ("srjf", "am"),
+    ("mlfq_strict", "um"),
+]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    @pytest.mark.parametrize("scheduler,rlc_mode", GRID)
+    def test_stepped_equals_one_shot(
+        self, scheduler, rlc_mode, backend, tmp_path
+    ):
+        """step / checkpoint / resume / finish == run(), to the byte."""
+        baseline = result_fingerprint(one_shot(scheduler, rlc_mode, backend))
+
+        session = SimulationSession(
+            make_sim(scheduler, rlc_mode, backend), DURATION_S
+        ).start()
+        session.step(n_ttis=137)
+        ckpt = tmp_path / "mid.ckpt"
+        session.checkpoint(ckpt)
+        resumed = SimulationSession.resume(ckpt)
+        assert resumed._resumed is True
+        resumed.step(until_us=900_000)
+        result = resumed.finish()
+        assert result_fingerprint(result) == baseline
+
+    def test_identity_includes_telemetry_and_breakdowns(self, tmp_path):
+        def instrumented():
+            cfg = SimConfig.lte_default(num_ues=3, load=0.5, seed=5)
+            return CellSimulation(
+                cfg, scheduler="outran",
+                telemetry=TelemetryRegistry(), flow_trace=True,
+            )
+
+        baseline = instrumented().run(DURATION_S)
+        assert baseline.telemetry is not None
+        assert baseline.flow_breakdowns
+
+        session = SimulationSession(instrumented(), DURATION_S).start()
+        session.step(n_ttis=211)
+        ckpt = tmp_path / "mid.ckpt"
+        session.checkpoint(ckpt)
+        result = SimulationSession.resume(ckpt).finish()
+        assert result_fingerprint_payload(result) == result_fingerprint_payload(
+            baseline
+        )
+
+    def test_run_shim_still_works(self):
+        """CellSimulation.run() (deprecated path) routes through a session."""
+        result = one_shot()
+        assert result.completed_flows > 0
+
+
+class TestHypothesisStepBoundaries:
+    BASELINE = None
+
+    @classmethod
+    def baseline_fp(cls):
+        if cls.BASELINE is None:
+            cls.BASELINE = result_fingerprint(one_shot())
+        return cls.BASELINE
+
+    @settings(max_examples=8, deadline=None)
+    @given(steps=st.lists(st.integers(min_value=1, max_value=800), min_size=1,
+                          max_size=5))
+    def test_any_step_split_is_identical(self, steps):
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        for n in steps:
+            session.step(n_ttis=n)
+        result = session.finish()
+        assert result_fingerprint(result) == self.baseline_fp()
+
+
+class TestCheckpointFormat:
+    def test_header_magic_and_version(self, tmp_path):
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        session.step(n_ttis=10)
+        meta = session.checkpoint(tmp_path / "s.ckpt")
+        raw = (tmp_path / "s.ckpt").read_bytes()
+        assert raw.startswith(
+            CHECKPOINT_MAGIC + b" %d\n" % CHECKPOINT_VERSION
+        )
+        assert meta["bytes"] == len(raw)
+        assert meta["now_us"] == session.now_us
+        session.finish()
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"PNG\x89 nonsense\n" + b"\x00" * 32)
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            SimulationSession.resume(bad)
+
+    def test_future_version_rejected(self, tmp_path):
+        bad = tmp_path / "v99.ckpt"
+        bad.write_bytes(CHECKPOINT_MAGIC + b" 99\n" + pickle.dumps(object()))
+        with pytest.raises(CheckpointError, match="v99 not supported"):
+            SimulationSession.resume(bad)
+
+    def test_wrong_payload_type_rejected(self, tmp_path):
+        bad = tmp_path / "dict.ckpt"
+        bad.write_bytes(
+            CHECKPOINT_MAGIC + b" %d\n" % CHECKPOINT_VERSION
+            + pickle.dumps({"not": "a session"})
+        )
+        with pytest.raises(CheckpointError, match="holds dict"):
+            SimulationSession.resume(bad)
+
+    def test_unpicklable_hook_raises_checkpoint_error(self, tmp_path):
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        session.sim._unpicklable = lambda: None
+        with pytest.raises(CheckpointError, match="does not pickle"):
+            session.checkpoint(tmp_path / "x.ckpt")
+
+
+class TestGoldenCheckpoint:
+    """The committed checkpoint file must keep resuming bit-identically.
+
+    Regenerated by ``tests/golden/regenerate.py`` after an *intentional*
+    format or behaviour change; see that module's docstring.
+    """
+
+    CKPT = GOLDEN_DIR / "session-outran-um.ckpt"
+    META = GOLDEN_DIR / "session-outran-um.json"
+
+    def test_golden_checkpoint_resumes_to_pinned_fingerprint(self):
+        expected = json.loads(self.META.read_text())
+        session = SimulationSession.resume(self.CKPT)
+        assert session.now_us == expected["checkpoint_now_us"]
+        result = session.finish()
+        assert result_fingerprint(result) == expected["fingerprint"]
+        assert result.completed_flows == expected["completed_flows"]
+
+
+class TestRicOnSessions:
+    def test_attach_ric_and_reconfigure(self):
+        session = SimulationSession(make_sim(), DURATION_S)
+        session.attach_ric(xapps=["noop"], period_us=50_000)
+        session.start()
+        session.step(n_ttis=100)
+        out = session.reconfigure(epsilon=0.25)
+        assert out["control"]["accepted"] is True
+        session.step(n_ttis=2)  # controls apply at the next TTI boundary
+        assert session.snapshot()["epsilon"] == 0.25
+        report = session.ric_report()
+        assert report["indications"]
+        session.finish()
+
+    def test_reconfigure_rejection_is_structured(self):
+        from repro.ric.guardrails import GuardrailRejection
+
+        session = SimulationSession(make_sim(), DURATION_S).start()
+        with pytest.raises(GuardrailRejection) as exc:
+            session.reconfigure(thresholds=[100_000, 50_000, 20_000])
+        body = exc.value.as_dict()
+        assert body["error"] == "guardrail_rejected"
+        assert body["request"]["thresholds"] == [100_000, 50_000, 20_000]
+        session.finish()
+
+    def test_ric_hot_swap_and_period(self):
+        session = SimulationSession(make_sim(), DURATION_S)
+        session.attach_ric(xapps=["noop"], period_us=100_000)
+        session.start()
+        out = session.reconfigure(ric_period_us=50_000, ric_xapps=["hillclimb"])
+        assert out["ric_period_us"] == 50_000
+        assert out["ric_xapps"] == ["hillclimb"]
+        assert session.ric.describe()["xapps"] == ["hillclimb"]
+        session.finish()
+
+    def test_double_attach_rejected(self):
+        session = SimulationSession(make_sim(), DURATION_S)
+        session.attach_ric(xapps=["noop"])
+        with pytest.raises(SessionError, match="already attached"):
+            session.attach_ric(xapps=["noop"])
+
+    def test_checkpoint_carries_the_ric(self, tmp_path):
+        session = SimulationSession(make_sim(), DURATION_S)
+        session.attach_ric(xapps=["hillclimb"], period_us=50_000)
+        session.start()
+        session.step(n_ttis=120)
+        session.checkpoint(tmp_path / "ric.ckpt")
+        resumed = SimulationSession.resume(tmp_path / "ric.ckpt")
+        assert resumed.ric is not None
+        assert resumed.ric.describe()["xapps"] == ["hillclimb"]
+        resumed.finish()
+        assert resumed.ric_report()["indications"]
+
+
+class TestWorkerCheckpointing:
+    SPEC = RunSpec(
+        rat="lte", scheduler="outran", load=0.5, seed=7, num_ues=3,
+        duration_s=DURATION_S,
+    )
+
+    def test_env_gated_checkpoint_run_is_identical(self, tmp_path, monkeypatch):
+        baseline = result_fingerprint(execute_spec(self.SPEC))
+        monkeypatch.setenv(CKPT_TTIS_ENV, "400")
+        key, result = run_spec(self.SPEC, store_root=str(tmp_path))
+        assert result_fingerprint(result) == baseline
+        # the checkpoint is transient: cleaned up after a completed run
+        assert not _checkpoint_path(str(tmp_path), self.SPEC.key()).exists()
+
+    def test_preempted_worker_resumes_from_checkpoint(self, tmp_path, monkeypatch):
+        baseline = result_fingerprint(execute_spec(self.SPEC))
+        monkeypatch.setenv(CKPT_TTIS_ENV, "400")
+        ckpt = _checkpoint_path(str(tmp_path), self.SPEC.key())
+        ckpt.parent.mkdir(parents=True)
+        # simulate the preempted first attempt: partial run, checkpoint, die
+        session = SimulationSession(
+            CellSimulation(self.SPEC.to_config(), scheduler=self.SPEC.scheduler),
+            duration_s=self.SPEC.duration_s,
+        ).start()
+        session.step(n_ttis=600)
+        session.checkpoint(ckpt)
+        # the retry picks the checkpoint up and must land on the same bytes
+        result = execute_spec(self.SPEC, checkpoint_path=ckpt)
+        assert result_fingerprint(result) == baseline
+        assert not ckpt.exists()
+
+    def test_torn_checkpoint_falls_back_to_fresh_run(self, tmp_path, monkeypatch):
+        baseline = result_fingerprint(execute_spec(self.SPEC))
+        monkeypatch.setenv(CKPT_TTIS_ENV, "400")
+        ckpt = _checkpoint_path(str(tmp_path), self.SPEC.key())
+        ckpt.parent.mkdir(parents=True)
+        ckpt.write_bytes(b"REPROCKPT 1\ntruncated-mid-write")
+        result = execute_spec(self.SPEC, checkpoint_path=ckpt)
+        assert result_fingerprint(result) == baseline
