@@ -25,7 +25,7 @@ from repro.core.mlfq import MlfqConfig
 from repro.ric import CellE2Node, HillClimbXApp, NearRTRIC
 from repro.sim.cell import CellSimulation
 from repro.sim.config import SimConfig
-from repro.sim.webload import NonStationaryLoad
+from repro.traffic import NonStationaryLoad
 
 from _harness import improvement_pct, once, record, record_bench, scale
 

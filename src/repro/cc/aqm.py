@@ -1,0 +1,79 @@
+"""Active queue management at the RLC downlink buffer: RED-style ECN.
+
+The default buffer behaviour is srsENB's drop-tail (no marker attached).
+With ``SimConfig.aqm == "red"`` each UE's RLC transmitter gets an
+:class:`EcnMarker`: an arriving SDU whose queue occupancy sits in the
+``[min, max)`` threshold band is CE-marked with linearly ramping
+probability, and always marked at or above ``max``.  Setting
+``min == max`` (the ``--ecn-k K`` CLI shorthand, modelled on the
+cloud-dcn-ecn k10/k30/k60 sweep) degenerates to DCTCP's deterministic
+step marking at K queued SDUs -- no randomness drawn at all, so the k
+sweep is exactly reproducible.
+
+The marker's RNG is seeded per UE from the simulation seed, keeping runs
+deterministic and the whole object graph picklable for checkpoints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.sim.config import SimConfig
+
+#: Valid ``SimConfig.aqm`` values.
+AQM_NAMES = ("droptail", "red")
+
+
+class EcnMarker:
+    """RED-style ECN marking decision for one RLC transmit queue."""
+
+    def __init__(
+        self,
+        min_sdus: int,
+        max_sdus: int,
+        mark_prob: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if min_sdus < 1:
+            raise ValueError(f"ecn min threshold >= 1 SDU: {min_sdus}")
+        if max_sdus < min_sdus:
+            raise ValueError(
+                f"ecn max threshold >= min: {max_sdus} < {min_sdus}"
+            )
+        if not 0.0 < mark_prob <= 1.0:
+            raise ValueError(f"mark_prob in (0, 1]: {mark_prob}")
+        self.min_sdus = min_sdus
+        self.max_sdus = max_sdus
+        self.mark_prob = mark_prob
+        self._rng = random.Random(seed)
+
+    def should_mark(self, queued_sdus: int) -> bool:
+        """Mark the SDU arriving at a queue of ``queued_sdus`` entries?"""
+        if queued_sdus < self.min_sdus:
+            return False
+        if queued_sdus >= self.max_sdus:
+            return True  # step marking when min == max
+        ramp = (queued_sdus - self.min_sdus + 1) / (
+            self.max_sdus - self.min_sdus + 1
+        )
+        return self._rng.random() < ramp * self.mark_prob
+
+    def __repr__(self) -> str:
+        return (
+            f"EcnMarker(min={self.min_sdus}, max={self.max_sdus}, "
+            f"p={self.mark_prob})"
+        )
+
+
+def make_aqm(config: "SimConfig", ue_index: int) -> Optional[EcnMarker]:
+    """Build the configured marker for one UE (None = drop-tail only)."""
+    if config.aqm == "droptail":
+        return None
+    return EcnMarker(
+        config.ecn_min_sdus,
+        config.ecn_max_sdus,
+        mark_prob=config.ecn_mark_prob,
+        seed=(config.seed + 13) * 1009 + ue_index,
+    )

@@ -1,0 +1,149 @@
+"""BBR-style rate/cwnd pacer: a model-based window, not a loss filler.
+
+A deliberately compact BBR: the sender maintains the two-parameter path
+model (bottleneck bandwidth = windowed-max delivery rate, min RTT =
+windowed-min Karn-valid sample) and sets ``cwnd = gain * BDP`` from it.
+Startup uses the 2/ln(2) gain until the bandwidth filter stops growing
+(three non-growing estimation rounds), then the sender settles at a
+steady cwnd gain of 2 -- enough in-flight headroom to keep the bottleneck
+busy across the ACK aggregation this simulator's TTI-granted downlink
+produces.  There is no wall-clock pacer: the event-driven sender is
+window-limited, so the cwnd cap *is* the rate control.
+
+Losses do not collapse the window (BBRv1 semantics: loss is not a
+congestion signal); an RTO resets the model conservatively.  ECE marks
+are accounted like plain ACKs -- classic BBRv1 ignores ECN, which is
+exactly what makes it an interesting extreme against DCTCP in the
+fct-vs-K sweep.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cc.base import CongestionControl
+from repro.net.packet import DEFAULT_MSS
+
+#: Startup window gain 2/ln(2): fill the pipe in log2(BDP) rounds.
+STARTUP_GAIN = 2.885
+#: Steady-state cwnd gain over the estimated BDP.
+CWND_GAIN = 2.0
+#: Bandwidth filter horizon, in estimation rounds.
+BW_WINDOW_ROUNDS = 10
+#: Min-RTT validity horizon before the filter forgets (10 s, RFC-draft).
+MIN_RTT_WINDOW_US = 10_000_000
+#: Startup ends after this many rounds without 25% bandwidth growth.
+FULL_BW_ROUNDS = 3
+
+
+class BbrCC(CongestionControl):
+    """Bandwidth/min-RTT model driving ``cwnd = gain * BDP``."""
+
+    name = "bbr"
+
+    def __init__(
+        self, mss: int = DEFAULT_MSS, initial_cwnd_segments: int = 10
+    ) -> None:
+        self.mss = mss
+        self.cwnd_bytes = float(initial_cwnd_segments * mss)
+        self.min_rtt_us: float = 0.0
+        self._min_rtt_stamp_us = 0
+        #: (round_index, bytes_per_us) delivery-rate samples.
+        self._bw_samples: deque[tuple[int, float]] = deque()
+        self._round = 0
+        self._delivered_bytes = 0
+        self._epoch_us: float = -1.0
+        self._epoch_delivered = 0
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self.in_startup = True
+
+    # -- path model --------------------------------------------------------
+
+    @property
+    def btl_bw_bytes_per_us(self) -> float:
+        """Windowed-max delivery rate (0 until the first round closes)."""
+        if not self._bw_samples:
+            return 0.0
+        return max(bw for _, bw in self._bw_samples)
+
+    def bdp_bytes(self) -> float:
+        return self.btl_bw_bytes_per_us * self.min_rtt_us
+
+    def _push_bw_sample(self, bw: float) -> None:
+        self._round += 1
+        self._bw_samples.append((self._round, bw))
+        while self._bw_samples[0][0] <= self._round - BW_WINDOW_ROUNDS:
+            self._bw_samples.popleft()
+        if self.in_startup:
+            if bw > self._full_bw * 1.25:
+                self._full_bw = bw
+                self._full_bw_rounds = 0
+            else:
+                self._full_bw_rounds += 1
+                if self._full_bw_rounds >= FULL_BW_ROUNDS:
+                    self.in_startup = False
+
+    def _refresh_cwnd(self) -> None:
+        bdp = self.bdp_bytes()
+        if bdp <= 0.0:
+            return  # model not primed: keep the slow-start-like window
+        gain = STARTUP_GAIN if self.in_startup else CWND_GAIN
+        self.cwnd_bytes = max(gain * bdp, 4.0 * self.mss)
+
+    # -- CongestionControl -------------------------------------------------
+
+    def on_ack(
+        self, newly_acked: int, ack_seq: int, snd_nxt: int, now_us: int
+    ) -> None:
+        self._delivered_bytes += newly_acked
+        if self._epoch_us < 0:
+            self._epoch_us = now_us
+            self._epoch_delivered = self._delivered_bytes
+        else:
+            elapsed = now_us - self._epoch_us
+            round_us = max(self.min_rtt_us, 1_000.0)
+            if elapsed >= round_us:
+                self._push_bw_sample(
+                    (self._delivered_bytes - self._epoch_delivered) / elapsed
+                )
+                self._epoch_us = now_us
+                self._epoch_delivered = self._delivered_bytes
+        if self.bdp_bytes() <= 0.0:
+            # Model unprimed (no RTT or bandwidth estimate yet): grow
+            # exponentially so the filters get samples to work with.
+            self.cwnd_bytes += newly_acked
+        else:
+            self._refresh_cwnd()
+
+    def on_ecn(
+        self, newly_acked: int, ack_seq: int, snd_nxt: int, now_us: int
+    ) -> None:
+        # BBRv1 ignores ECN: account the delivery, keep the model's pace.
+        self.on_ack(newly_acked, ack_seq, snd_nxt, now_us)
+
+    def on_rtt_sample(self, rtt_us: int, now_us: int) -> None:
+        if (
+            self.min_rtt_us <= 0.0
+            or rtt_us <= self.min_rtt_us
+            or now_us - self._min_rtt_stamp_us > MIN_RTT_WINDOW_US
+        ):
+            self.min_rtt_us = float(rtt_us)
+            self._min_rtt_stamp_us = now_us
+
+    def on_loss(self, now_us: int) -> None:
+        pass  # loss is not a congestion signal to the model
+
+    def on_recovery_exit(self, now_us: int) -> None:
+        self._refresh_cwnd()
+
+    def on_rto(self, now_us: int) -> None:
+        # Conservative restart: drop the bandwidth model (it was clearly
+        # wrong) and rebuild from a small window.
+        self._bw_samples.clear()
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self.in_startup = True
+        self._epoch_us = -1.0
+        self._epoch_delivered = self._delivered_bytes
+        self.cwnd_bytes = float(4.0 * self.mss)

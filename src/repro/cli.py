@@ -4,6 +4,7 @@ Examples::
 
     python -m repro run --scheduler outran --load 0.9 --ues 40 --duration 8
     python -m repro run --rat nr --mu 3 --mec --scheduler pf --json out.json
+    python -m repro run --cc dctcp --ecn-k 30 --workload incast
     python -m repro run --compare pf outran srjf --load 0.9 --jobs 3
     python -m repro run --scheduler outran --telemetry out.json --profile
     python -m repro run --scheduler outran --ric --ric-xapp hillclimb \\
@@ -106,6 +107,30 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="simulation backend: 'reference' runs the scalar per-UE/"
         "per-RB loops (the oracle), 'vectorized' the batched numpy "
         "kernels -- byte-identical output (see docs/BACKENDS.md)",
+    )
+    parser.add_argument(
+        "--cc",
+        choices=("cubic", "dctcp", "bbr"),
+        default="cubic",
+        help="sender congestion control (default: %(default)s; see "
+        "docs/CONGESTION.md)",
+    )
+    parser.add_argument(
+        "--ecn-k",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        dest="ecn_k",
+        help="enable ECN marking at the RLC buffer with a step threshold "
+        "of K queued SDUs (default: drop-tail, no marking)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=("poisson", "incast", "rpc", "video"),
+        default="poisson",
+        help="traffic matrix: Poisson flow arrivals (default), "
+        "synchronized incast fan-in bursts, RPC request/response, or "
+        "DASH-style video segments (see docs/CONGESTION.md)",
     )
     parser.add_argument(
         "--json", metavar="PATH", help="also write a JSON summary to PATH"
@@ -221,7 +246,11 @@ def config_from_args(args: argparse.Namespace) -> SimConfig:
         rlc_mode=args.rlc_mode,
         radio_bler=args.bler,
         backend=getattr(args, "backend", "reference"),
+        cc=getattr(args, "cc", "cubic"),
     )
+    ecn_k = getattr(args, "ecn_k", None)
+    if ecn_k:
+        common.update(aqm="red", ecn_min_sdus=ecn_k, ecn_max_sdus=ecn_k)
     if args.rat == "nr":
         cfg = SimConfig.nr_default(mu=args.mu, mec=args.mec, **common)
     else:
@@ -229,6 +258,15 @@ def config_from_args(args: argparse.Namespace) -> SimConfig:
     if args.distribution:
         cfg = cfg.with_overrides(
             traffic=TrafficSpec(distribution=args.distribution, load=args.load)
+        )
+    workload = getattr(args, "workload", "poisson")
+    if workload != "poisson":
+        from dataclasses import replace
+
+        from repro.traffic.workloads import WORKLOAD_KINDS
+
+        cfg = cfg.with_overrides(
+            traffic=replace(cfg.traffic, kind=WORKLOAD_KINDS[workload])
         )
     return cfg
 
@@ -264,8 +302,42 @@ def _print_profile(result: SimResult, scheduler: str) -> None:
     print(f"  {'other':>12}: {profile['other_s']:8.3f}s")
 
 
+def _print_workload_metrics(result: SimResult, workload: str) -> None:
+    """Per-workload quality metrics below the FCT summary."""
+    if workload == "rpc":
+        from repro.traffic import rpc_latencies_ms
+
+        latencies = rpc_latencies_ms(result)
+        if latencies:
+            median = latencies[len(latencies) // 2]
+            p95 = latencies[min(len(latencies) - 1, int(0.95 * (len(latencies) - 1)))]
+            print(
+                f"rpc: {len(latencies)} responses, median {median:.1f} ms, "
+                f"p95 {p95:.1f} ms"
+            )
+    elif workload == "video":
+        from repro.traffic import video_rebuffer_ratio
+
+        ratio = video_rebuffer_ratio(result)
+        if ratio is not None:
+            print(f"video: rebuffer ratio {ratio:.4f}")
+
+
 def _spec_from_args(args: argparse.Namespace, scheduler: str) -> RunSpec:
     """The :class:`RunSpec` equivalent of :func:`config_from_args`."""
+    overrides = {
+        "rlc_mode": args.rlc_mode,
+        "radio_bler": args.bler,
+        "backend": getattr(args, "backend", "reference"),
+    }
+    # Only non-defaults go into overrides so store keys of pre-existing
+    # sweeps (no cc/aqm entries) keep resolving.
+    if args.cc != "cubic":
+        overrides["cc"] = args.cc
+    if args.ecn_k:
+        overrides.update(
+            aqm="red", ecn_min_sdus=args.ecn_k, ecn_max_sdus=args.ecn_k
+        )
     return RunSpec(
         rat=args.rat,
         scheduler=scheduler,
@@ -276,11 +348,8 @@ def _spec_from_args(args: argparse.Namespace, scheduler: str) -> RunSpec:
         mu=args.mu,
         mec=args.mec,
         distribution=args.distribution,
-        overrides={
-            "rlc_mode": args.rlc_mode,
-            "radio_bler": args.bler,
-            "backend": getattr(args, "backend", "reference"),
-        },
+        workload=args.workload,
+        overrides=overrides,
     )
 
 
@@ -450,6 +519,7 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
         summaries.append(result_summary(result))
         if not args.compare:
             print(result.fct_summary())
+            _print_workload_metrics(result, args.workload)
         if args.trace:
             sim.enb.trace.save_npz(_per_scheduler_path(args.trace, name, multi))
         if args.flow_trace:
@@ -642,6 +712,7 @@ def sweep_main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         data = json.loads(Path(args.spec).read_text())
         sweep = SweepSpec.from_dict(data)
+        sweep.validate()  # fail fast, before the worker pool spins up
     except (OSError, ValueError, TypeError) as exc:
         parser.error(f"bad sweep spec {args.spec!r}: {exc}")
     specs = sweep.expand()

@@ -30,6 +30,7 @@ class SenderStats:
         "packets_sent",
         "retransmits",
         "rto_firings",
+        "ecn_ce_acks",
         "live_cwnd_bytes",
     )
 
@@ -38,11 +39,13 @@ class SenderStats:
         packets_sent: int,
         retransmits: int,
         rto_firings: int,
+        ecn_ce_acks: int,
         live_cwnd_bytes: np.ndarray,
     ) -> None:
         self.packets_sent = packets_sent
         self.retransmits = retransmits
         self.rto_firings = rto_firings
+        self.ecn_ce_acks = ecn_ce_acks
         #: cwnd of every sender still running at harvest time.
         self.live_cwnd_bytes = live_cwnd_bytes
 
@@ -72,13 +75,15 @@ def harvest_sender_stats(senders: Iterable["TcpFlow"]) -> SenderStats:
         flat.append(sender.packets_sent)
         flat.append(sender.retransmits)
         flat.append(sender.rto_firings)
+        flat.append(sender.ecn_ce_acks)
         if not sender.done:
             cwnds.append(sender.cwnd_bytes)
-    counts = np.asarray(flat, dtype=np.int64).reshape(-1, 3)
-    totals = counts.sum(axis=0) if counts.size else np.zeros(3, dtype=np.int64)
+    counts = np.asarray(flat, dtype=np.int64).reshape(-1, 4)
+    totals = counts.sum(axis=0) if counts.size else np.zeros(4, dtype=np.int64)
     return SenderStats(
         packets_sent=int(totals[0]),
         retransmits=int(totals[1]),
         rto_firings=int(totals[2]),
+        ecn_ce_acks=int(totals[3]),
         live_cwnd_bytes=np.asarray(cwnds, dtype=np.float64),
     )

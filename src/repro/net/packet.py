@@ -61,6 +61,8 @@ class Packet:
         "sent_us",
         "enqueued_us",
         "is_retx",
+        "ecn_ce",
+        "ece",
     )
 
     def __init__(
@@ -87,6 +89,11 @@ class Packet:
         self.sent_us: Optional[int] = None
         self.enqueued_us: Optional[int] = None
         self.is_retx = is_retx
+        #: CE codepoint: set by an AQM when the data packet found a
+        #: congested queue (RFC 3168).
+        self.ecn_ce = False
+        #: ECE echo: set on ACKs by the receiver to relay a CE mark.
+        self.ece = False
 
     @property
     def wire_bytes(self) -> int:

@@ -1,13 +1,15 @@
-"""Event-driven TCP-Cubic flow model (sender + receiver).
+"""Event-driven TCP flow model (sender + receiver).
 
 The paper's end hosts run TCP-Cubic; what matters to the scheduling study
 is the closed loop -- cwnd growth filling the per-UE RLC buffer
 (bufferbloat), loss at buffer overflow or on the radio, and the resulting
 retransmission dynamics.  The model implements:
 
-* slow start / congestion avoidance with the CUBIC window function
-  (C = 0.4, beta = 0.7, RFC 8312),
-* immediate cumulative ACKs carrying SACK blocks; fast retransmit enters
+* a pluggable congestion-window policy behind
+  :class:`repro.cc.base.CongestionControl` (Cubic by default; DCTCP and
+  BBR live in ``repro.cc``),
+* immediate cumulative ACKs carrying SACK blocks and the ECN-echo (ECE)
+  of any CE mark an AQM applied on the way down; fast retransmit enters
   a SACK-driven loss recovery that repairs every known hole within a
   round trip (a NewReno-only sender repairs one hole per RTT, which
   collapses throughput after a drop-tail burst), with an RTO fallback
@@ -18,14 +20,18 @@ Connection establishment is not simulated (flows model HTTP exchanges on
 warm connections); an optional ``handshake_rtt`` can add the setup delay.
 Flow completion time is recorded when the *last byte arrives at the
 receiver* -- the paper's FCT definition.
+
+``CubicState`` (and the ``CUBIC_C``/``CUBIC_BETA`` constants) moved to
+``repro.cc.cubic`` when the policy was extracted; they are re-exported
+here for compatibility.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.cc.base import CongestionControl
+from repro.cc.cubic import CUBIC_BETA, CUBIC_C, CubicCC, CubicState
 from repro.net.packet import DEFAULT_MSS, FiveTuple, Packet
 from repro.sim.engine import Event, EventEngine
 
@@ -35,42 +41,15 @@ if TYPE_CHECKING:
 INITIAL_CWND_SEGMENTS = 10
 MIN_RTO_US = 200_000
 MAX_RTO_US = 60_000_000
-CUBIC_C = 0.4
-CUBIC_BETA = 0.7
 DUPACK_THRESHOLD = 3
 
-
-@dataclass
-class CubicState:
-    """CUBIC's per-flow variables (RFC 8312 naming)."""
-
-    w_max_bytes: float = 0.0
-    epoch_start_us: Optional[int] = None
-    k_s: float = 0.0
-    ssthresh_bytes: float = math.inf
-
-    def enter_recovery(self, cwnd_bytes: float) -> float:
-        """On loss: remember W_max, shrink the window; returns new cwnd."""
-        self.w_max_bytes = cwnd_bytes
-        self.epoch_start_us = None
-        new_cwnd = max(cwnd_bytes * CUBIC_BETA, 2.0 * DEFAULT_MSS)
-        self.ssthresh_bytes = new_cwnd
-        return new_cwnd
-
-    def target_bytes(self, now_us: int, cwnd_bytes: float, mss: int) -> float:
-        """CUBIC window target W(t) = C*(t-K)^3 + W_max (in bytes)."""
-        if self.epoch_start_us is None:
-            self.epoch_start_us = now_us
-            if cwnd_bytes < self.w_max_bytes:
-                self.k_s = ((self.w_max_bytes - cwnd_bytes) / mss / CUBIC_C) ** (
-                    1.0 / 3.0
-                )
-            else:
-                self.k_s = 0.0
-                self.w_max_bytes = cwnd_bytes
-        t_s = (now_us - self.epoch_start_us) / 1e6
-        w_mss = CUBIC_C * (t_s - self.k_s) ** 3 + self.w_max_bytes / mss
-        return w_mss * mss
+__all__ = [
+    "CUBIC_BETA",
+    "CUBIC_C",
+    "CubicState",
+    "TcpFlow",
+    "TcpReceiver",
+]
 
 
 class TcpFlow:
@@ -89,6 +68,7 @@ class TcpFlow:
         on_sender_done: Optional[Callable[["TcpFlow", int], None]] = None,
         tracer: Optional["FlowTracer"] = None,
         fast_rtt: bool = False,
+        cc: Optional[CongestionControl] = None,
     ) -> None:
         if size_bytes <= 0:
             raise ValueError(f"flow size must be positive: {size_bytes}")
@@ -107,8 +87,12 @@ class TcpFlow:
         self.snd_una = 0  # lowest unacknowledged byte
         self.snd_nxt = 0  # next new byte to send
         self.max_sent = 0  # highest byte ever transmitted
-        self.cwnd_bytes = float(initial_cwnd_segments * mss)
-        self.cubic = CubicState()
+        #: Window policy; holds cwnd_bytes (Cubic unless injected).
+        self.cc: CongestionControl = (
+            cc
+            if cc is not None
+            else CubicCC(mss=mss, initial_cwnd_segments=initial_cwnd_segments)
+        )
         self.dupacks = 0
         self.recovery_point: Optional[int] = None
         #: SACK scoreboard: merged, sorted, disjoint byte intervals the
@@ -130,6 +114,23 @@ class TcpFlow:
         self.packets_sent = 0
         self.retransmits = 0
         self.rto_firings = 0
+        self.ecn_ce_acks = 0
+
+    # -- window delegation -------------------------------------------------
+
+    @property
+    def cwnd_bytes(self) -> float:
+        """The congestion window (owned by the CC policy)."""
+        return self.cc.cwnd_bytes
+
+    @cwnd_bytes.setter
+    def cwnd_bytes(self, value: float) -> None:
+        self.cc.cwnd_bytes = value
+
+    @property
+    def cubic(self):
+        """The CubicState of a Cubic-driven flow (compat accessor)."""
+        return self.cc.cubic
 
     # -- sending -----------------------------------------------------------
 
@@ -203,11 +204,15 @@ class TcpFlow:
 
     # -- ACK processing ------------------------------------------------------
 
-    def on_ack(self, ack_seq: int, sack_blocks: tuple = ()) -> None:
-        """Process a cumulative ACK (with optional SACK blocks)."""
+    def on_ack(
+        self, ack_seq: int, sack_blocks: tuple = (), ece: bool = False
+    ) -> None:
+        """Process a cumulative ACK (with optional SACK blocks / ECE)."""
         if self.done:
             return
         now = self.engine.now_us
+        if ece:
+            self.ecn_ce_acks += 1
         self._register_sacks(sack_blocks)
         if ack_seq > self.snd_una:
             self._sample_rtt(ack_seq, now)
@@ -222,16 +227,17 @@ class TcpFlow:
                     self.recovery_point = None
                     self.dupacks = 0
                     self._retx_time.clear()
-                    self.cwnd_bytes = max(
-                        self.cubic.ssthresh_bytes, 2.0 * self.mss
-                    )
+                    self.cc.on_recovery_exit(now)
                     self._trim_sacked()
                 else:
                     # Partial ACK: repair the holes SACK exposes.
                     self._retransmit_holes()
             else:
                 self.dupacks = 0
-                self._grow_window(newly_acked, now)
+                if ece:
+                    self.cc.on_ecn(newly_acked, ack_seq, self.snd_nxt, now)
+                else:
+                    self.cc.on_ack(newly_acked, ack_seq, self.snd_nxt, now)
             if self.snd_una >= self.size_bytes:
                 self._finish(now)
                 return
@@ -305,23 +311,11 @@ class TcpFlow:
                 seq += self.mss
             cursor = max(cursor, end)
 
-    def _grow_window(self, newly_acked: int, now_us: int) -> None:
-        if self.cwnd_bytes < self.cubic.ssthresh_bytes:
-            self.cwnd_bytes += newly_acked  # slow start
-        else:
-            target = self.cubic.target_bytes(now_us, self.cwnd_bytes, self.mss)
-            if target > self.cwnd_bytes:
-                self.cwnd_bytes += (
-                    (target - self.cwnd_bytes) / self.cwnd_bytes
-                ) * newly_acked
-            else:
-                self.cwnd_bytes += 0.01 * newly_acked  # TCP-friendly floor
-
     def _fast_retransmit(self, now_us: int) -> None:
         if self.tracer is not None:
             self.tracer.on_tcp_recovery(self.flow_id, now_us)
         self.recovery_point = self.snd_nxt
-        self.cwnd_bytes = self.cubic.enter_recovery(self.cwnd_bytes)
+        self.cc.on_loss(now_us)
         self._retx_time.clear()
         self._retransmit_holes()
         self._arm_rto()
@@ -366,6 +360,7 @@ class TcpFlow:
                 MAX_RTO_US,
             )
         )
+        self.cc.on_rtt_sample(rtt, now_us)
 
     # -- RTO -----------------------------------------------------------------
 
@@ -388,10 +383,7 @@ class TcpFlow:
         self.rto_firings += 1
         if self.tracer is not None:
             self.tracer.on_tcp_rto(self.flow_id, self.engine.now_us)
-        self.cubic.ssthresh_bytes = max(self.cwnd_bytes / 2.0, 2.0 * self.mss)
-        self.cubic.w_max_bytes = self.cwnd_bytes
-        self.cubic.epoch_start_us = None
-        self.cwnd_bytes = float(2.0 * self.mss)
+        self.cc.on_rto(self.engine.now_us)
         self.dupacks = 0
         self._retx_time.clear()
         # Karn's ambiguity extends past the retransmitted segment: any
@@ -483,6 +475,10 @@ class TcpReceiver:
         )
         if self.sack_enabled:
             ack.sack_blocks = self.sack_blocks()
+        # Echo a CE mark back to the sender (RFC 3168 ECE).  The model is
+        # per-ACK echo, which is what DCTCP wants (no delayed-ACK state
+        # machine here: every data packet produces its own ACK).
+        ack.ece = packet.ecn_ce
         self.send_ack(ack)
 
     def sack_blocks(self, limit: int = 4) -> tuple:

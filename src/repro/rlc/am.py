@@ -78,6 +78,7 @@ class AmTransmitter:
         on_sdu_dropped: Optional[Callable[[RlcSdu], None]] = None,
         on_sdu_dequeued: Optional[Callable[[RlcSdu, int], None]] = None,
         on_sdu_first_tx: Optional[Callable[[RlcSdu], None]] = None,
+        aqm=None,
     ) -> None:
         self.ue_id = ue_id
         self._tx = UmTransmitter(
@@ -89,6 +90,7 @@ class AmTransmitter:
             on_sdu_dropped=on_sdu_dropped,
             on_sdu_dequeued=on_sdu_dequeued,
             on_sdu_first_tx=on_sdu_first_tx,
+            aqm=aqm,
         )
         self.poll_pdu = max(poll_pdu, 1)
         self.t_poll_retransmit_us = t_poll_retransmit_us
@@ -257,6 +259,10 @@ class AmTransmitter:
     @property
     def segments_sent(self) -> int:
         return self._tx.segments_sent
+
+    @property
+    def sdus_marked(self) -> int:
+        return self._tx.sdus_marked
 
     @property
     def unacked_count(self) -> int:

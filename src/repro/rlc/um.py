@@ -40,6 +40,7 @@ class UmTransmitter:
         on_sdu_dropped: Optional[Callable[[RlcSdu], None]] = None,
         on_sdu_dequeued: Optional[Callable[[RlcSdu, int], None]] = None,
         on_sdu_first_tx: Optional[Callable[[RlcSdu], None]] = None,
+        aqm=None,
     ) -> None:
         if capacity_sdus < 1:
             raise ValueError(f"capacity must be >= 1 SDU: {capacity_sdus}")
@@ -58,12 +59,15 @@ class UmTransmitter:
         #: Fired when an SDU's first byte enters a PDU -- the point where
         #: OutRAN performs delayed PDCP SN numbering & ciphering (Fig. 10).
         self._on_sdu_first_tx = on_sdu_first_tx
+        #: ECN marker consulted at enqueue (None = plain drop-tail).
+        self._aqm = aqm
         #: Flow-lifecycle tracer (None keeps enqueue/build emit-free).
         self.tracer = None
         self.sdus_dropped = 0
         self.sdus_sent = 0
         self.pdus_built = 0
         self.segments_sent = 0
+        self.sdus_marked = 0
 
     def write_sdu(self, packet: Packet, level: int, now_us: int) -> Optional[RlcSdu]:
         """Enqueue a downlink packet; returns the SDU, or None on overflow.
@@ -96,6 +100,11 @@ class UmTransmitter:
                 if self.tracer is not None:
                     self.tracer.on_rlc_drop(packet, now_us)
                 return None
+        if self._aqm is not None and self._aqm.should_mark(len(self.queue)):
+            # The AQM sees the queue this SDU joins; the CE mark travels
+            # with the packet through RLC/PDCP delivery to the receiver.
+            packet.ecn_ce = True
+            self.sdus_marked += 1
         sdu = RlcSdu(packet, level=level, enqueued_us=now_us)
         self.queue.push(sdu, sdu.size, level)
         if self.tracer is not None:

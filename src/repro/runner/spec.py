@@ -60,11 +60,20 @@ class RunSpec:
     mu: int = 1  # NR numerology (ignored for lte)
     mec: bool = False  # NR edge server placement (ignored for lte)
     distribution: Optional[str] = None  # None = per-RAT paper workload
+    #: Traffic shape: "poisson" (default), "incast", "rpc", or "video"
+    #: (see repro.traffic.workloads).
+    workload: str = "poisson"
     overrides: tuple = ()
 
     def __post_init__(self) -> None:
         if self.rat not in ("lte", "nr"):
             raise ValueError(f"rat must be 'lte' or 'nr': {self.rat!r}")
+        from repro.traffic.workloads import WORKLOADS
+
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r} (choices: {WORKLOADS})"
+            )
         if isinstance(self.overrides, Mapping):
             pairs = tuple(sorted(self.overrides.items()))
             object.__setattr__(self, "overrides", pairs)
@@ -79,7 +88,7 @@ class RunSpec:
 
     def canonical(self) -> dict:
         """JSON-safe dict with every output-affecting field."""
-        return {
+        doc = {
             "schema": SPEC_SCHEMA,
             "rat": self.rat,
             "scheduler": self.scheduler,
@@ -92,6 +101,11 @@ class RunSpec:
             "distribution": self.distribution,
             "overrides": [list(pair) for pair in self.overrides],
         }
+        # Included only when non-default so every pre-existing store key
+        # (all Poisson) keeps resolving to the same entries.
+        if self.workload != "poisson":
+            doc["workload"] = self.workload
+        return doc
 
     def key(self) -> str:
         """Stable content hash -- the result-store key."""
@@ -116,6 +130,14 @@ class RunSpec:
             cfg = cfg.with_overrides(
                 traffic=TrafficSpec(distribution=self.distribution, load=self.load)
             )
+        if self.workload != "poisson":
+            from dataclasses import replace
+
+            from repro.traffic.workloads import WORKLOAD_KINDS
+
+            cfg = cfg.with_overrides(
+                traffic=replace(cfg.traffic, kind=WORKLOAD_KINDS[self.workload])
+            )
         return cfg
 
     def label(self) -> str:
@@ -123,6 +145,8 @@ class RunSpec:
         parts = [self.rat, self.scheduler, f"load={self.load}", f"seed={self.seed}"]
         if self.rat == "nr":
             parts.append(f"mu={self.mu}")
+        if self.workload != "poisson":
+            parts.append(f"workload={self.workload}")
         return " ".join(parts)
 
 
@@ -144,12 +168,14 @@ class SweepSpec:
     mu: int = 1
     mec: bool = False
     distribution: Optional[str] = None
+    workloads: tuple = ("poisson",)
     variants: tuple = field(default_factory=lambda: ({},))
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schedulers", tuple(self.schedulers))
         object.__setattr__(self, "loads", tuple(self.loads))
         object.__setattr__(self, "seeds", tuple(self.seeds))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(
             self,
             "variants",
@@ -158,30 +184,75 @@ class SweepSpec:
                 for v in self.variants
             ),
         )
-        if not self.schedulers or not self.loads or not self.seeds:
+        if (
+            not self.schedulers
+            or not self.loads
+            or not self.seeds
+            or not self.workloads
+        ):
             raise ValueError("sweep grid must not be empty")
 
+    def validate(self) -> None:
+        """Fail fast on bad axis values, before any worker spins up.
+
+        A misspelled scheduler/workload/backend/cc/aqm name would
+        otherwise surface as one crashed run per grid point, deep inside
+        the pool.  Raises ``ValueError`` naming the axis and the value.
+        """
+        from repro.cc import AQM_NAMES, CC_NAMES
+        from repro.sim.cell import is_scheduler_name
+        from repro.traffic.workloads import WORKLOADS
+
+        for scheduler in self.schedulers:
+            if not is_scheduler_name(str(scheduler)):
+                raise ValueError(
+                    f"unknown scheduler in sweep axis 'schedulers': "
+                    f"{scheduler!r}"
+                )
+        for workload in self.workloads:
+            if workload not in WORKLOADS:
+                raise ValueError(
+                    f"unknown workload in sweep axis 'workloads': "
+                    f"{workload!r} (choices: {WORKLOADS})"
+                )
+        checked = {
+            "backend": ("reference", "vectorized"),
+            "cc": CC_NAMES,
+            "aqm": AQM_NAMES,
+        }
+        for variant in self.variants:
+            for name, value in variant:
+                allowed = checked.get(name)
+                if allowed is not None and value not in allowed:
+                    raise ValueError(
+                        f"unknown {name} in sweep variant override: "
+                        f"{value!r} (choices: {tuple(allowed)})"
+                    )
+
     def expand(self) -> list[RunSpec]:
-        """Deterministic run list: scheduler-major, then load, seed, variant."""
+        """Deterministic run list: scheduler-major, then load, seed,
+        workload, variant."""
         runs = []
         for scheduler in self.schedulers:
             for load in self.loads:
                 for seed in self.seeds:
-                    for variant in self.variants:
-                        runs.append(
-                            RunSpec(
-                                rat=self.rat,
-                                scheduler=scheduler,
-                                load=load,
-                                seed=seed,
-                                num_ues=self.num_ues,
-                                duration_s=self.duration_s,
-                                mu=self.mu,
-                                mec=self.mec,
-                                distribution=self.distribution,
-                                overrides=dict(variant),
+                    for workload in self.workloads:
+                        for variant in self.variants:
+                            runs.append(
+                                RunSpec(
+                                    rat=self.rat,
+                                    scheduler=scheduler,
+                                    load=load,
+                                    seed=seed,
+                                    num_ues=self.num_ues,
+                                    duration_s=self.duration_s,
+                                    mu=self.mu,
+                                    mec=self.mec,
+                                    distribution=self.distribution,
+                                    workload=workload,
+                                    overrides=dict(variant),
+                                )
                             )
-                        )
         return runs
 
     @classmethod
@@ -189,13 +260,14 @@ class SweepSpec:
         """Build from a JSON-style mapping (the CLI ``sweep`` format)."""
         known = {
             "rat", "schedulers", "loads", "seeds", "num_ues",
-            "duration_s", "mu", "mec", "distribution", "variants",
+            "duration_s", "mu", "mec", "distribution", "workloads",
+            "variants",
         }
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown sweep spec fields: {sorted(unknown)}")
         kwargs = dict(data)
-        for seq_field in ("schedulers", "loads", "seeds", "variants"):
+        for seq_field in ("schedulers", "loads", "seeds", "workloads", "variants"):
             if seq_field in kwargs:
                 kwargs[seq_field] = tuple(kwargs[seq_field])
         return cls(**kwargs)
@@ -211,6 +283,7 @@ class SweepSpec:
             "mu": self.mu,
             "mec": self.mec,
             "distribution": self.distribution,
+            "workloads": list(self.workloads),
             "variants": [dict(v) for v in self.variants],
         }
 

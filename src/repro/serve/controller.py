@@ -35,7 +35,7 @@ LOCK_TIMEOUT_S = 5.0
 
 _SPEC_FIELDS = frozenset(
     ("rat", "scheduler", "load", "seed", "num_ues", "duration_s",
-     "mu", "mec", "distribution", "overrides")
+     "mu", "mec", "distribution", "workload", "overrides")
 )
 
 

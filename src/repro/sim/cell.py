@@ -20,6 +20,7 @@ from typing import Callable, Optional, Sequence, TextIO, Union
 
 import numpy as np
 
+from repro.cc import make_cc
 from repro.core.outran import OutranScheduler
 from repro.mac.pf import (
     BlindEqualThroughputScheduler,
@@ -48,9 +49,34 @@ from repro.telemetry.profiler import Profiler, coerce_profiler
 from repro.telemetry.registry import TelemetryRegistry, coerce_registry
 from repro.traffic.distributions import distribution_by_name
 from repro.traffic.generator import FlowSpec, IncastGenerator, PoissonTrafficGenerator
+from repro.traffic.workloads import (
+    IncastFanInGenerator,
+    RpcWorkloadGenerator,
+    VideoWorkloadGenerator,
+)
 
 SERVER_IP = 0x0A00_0001
 UE_IP_BASE = 0x0B00_0000
+
+#: Fixed scheduler names (``outran:<eps>`` is additionally accepted).
+SCHEDULER_NAMES = (
+    "pf", "mt", "rr", "bet", "srjf", "pss", "cqa", "mlwdf", "exppf",
+    "mlfq_strict", "outran",
+)
+
+
+def is_scheduler_name(spec: str) -> bool:
+    """Whether ``make_scheduler`` would accept this name."""
+    name = spec.lower()
+    if name in SCHEDULER_NAMES:
+        return True
+    if name.startswith("outran:"):
+        try:
+            float(name.split(":", 1)[1])
+            return True
+        except ValueError:
+            return False
+    return False
 
 
 def make_scheduler(spec: Union[str, MacScheduler], config: SimConfig) -> MacScheduler:
@@ -221,9 +247,9 @@ class CellSimulation:
         """Replace the config-derived workload with an explicit flow list.
 
         Used by workload drivers built outside :class:`SimConfig` (e.g.
-        :class:`~repro.sim.webload.NonStationaryLoad`) that need the
-        cell's :meth:`capacity_bps` to size their arrivals.  Call before
-        :meth:`run`.
+        :class:`~repro.traffic.nonstationary.NonStationaryLoad`) that
+        need the cell's :meth:`capacity_bps` to size their arrivals.
+        Call before :meth:`run`.
         """
         if self._run_started:
             raise RuntimeError("provide_flows() must be called before run()")
@@ -235,7 +261,7 @@ class CellSimulation:
         traffic = self.config.traffic
         dist = distribution_by_name(traffic.distribution)
         if traffic.kind == "incast":
-            generator: Union[IncastGenerator, PoissonTrafficGenerator] = IncastGenerator(
+            generator = IncastGenerator(
                 dist,
                 self.config.num_ues,
                 traffic.load,
@@ -244,6 +270,35 @@ class CellSimulation:
                 short_bytes=traffic.incast_short_bytes,
                 short_fraction=traffic.incast_short_fraction,
                 burst_flows=traffic.incast_burst_flows,
+            )
+        elif traffic.kind == "incast_fanin":
+            generator = IncastFanInGenerator(
+                dist,
+                self.config.num_ues,
+                traffic.load,
+                self.capacity_bps(),
+                seed=self.config.seed + 3,
+                fanin_flows=traffic.fanin_flows,
+                fanin_bytes=traffic.fanin_bytes,
+                fanin_fraction=traffic.fanin_fraction,
+            )
+        elif traffic.kind == "rpc":
+            generator = RpcWorkloadGenerator(
+                self.config.num_ues,
+                traffic.load,
+                self.capacity_bps(),
+                seed=self.config.seed + 3,
+                response_bytes=traffic.rpc_response_bytes,
+                request_delay_us=traffic.rpc_request_delay_us,
+            )
+        elif traffic.kind == "video":
+            generator = VideoWorkloadGenerator(
+                self.config.num_ues,
+                traffic.load,
+                self.capacity_bps(),
+                seed=self.config.seed + 3,
+                bitrate_bps=traffic.video_bitrate_bps,
+                segment_s=traffic.video_segment_s,
             )
         else:
             generator = PoissonTrafficGenerator(
@@ -290,6 +345,10 @@ class CellSimulation:
             on_sender_done=self._on_sender_done,
             tracer=self.flow_trace,
             fast_rtt=self.config.backend == "vectorized",
+            cc=make_cc(
+                self.config.cc,
+                initial_cwnd_segments=self.config.tcp_initial_cwnd,
+            ),
         )
         runtime = FlowRuntime(spec, sender, receiver)
         self._runtimes[spec.flow_id] = runtime
@@ -310,14 +369,27 @@ class CellSimulation:
     def _route_ack(self, ack: Packet) -> None:
         delay = self.config.ul_delay_us + self.config.server_delay_us
         self.engine.schedule_in(
-            delay, self._ack_arrive, ack.flow_id, ack.ack_seq, ack.sack_blocks
+            delay,
+            self._ack_arrive,
+            ack.flow_id,
+            ack.ack_seq,
+            ack.sack_blocks,
+            ack.ece,
         )
 
-    def _ack_arrive(self, flow_id: int, ack_seq: int, sack_blocks: tuple) -> None:
+    def _ack_arrive(
+        self,
+        flow_id: int,
+        ack_seq: int,
+        sack_blocks: tuple,
+        ece: bool = False,
+    ) -> None:
+        # ``ece`` defaults False so pre-ECN checkpoints (whose pending ACK
+        # events carry three args) resume cleanly.
         runtime = self._runtimes.get(flow_id)
         if runtime is not None:
             with self._sec_tcp:
-                runtime.sender.on_ack(ack_seq, sack_blocks)
+                runtime.sender.on_ack(ack_seq, sack_blocks, ece)
 
     def start_flow(
         self,
@@ -664,7 +736,7 @@ class CellSimulation:
         self.enb.harvest_telemetry(reg)
         # RLC / PDCP / MLFQ ---------------------------------------------
         rlc_tx = {"sdus_sent": 0, "pdus_built": 0, "segments_sent": 0,
-                  "sdus_dropped": 0}
+                  "sdus_dropped": 0, "sdus_marked": 0}
         rlc_am = {"retx_transmissions": 0, "spurious_retx": 0,
                   "pdus_abandoned": 0, "retx_queue_depth": 0}
         rx_delivered = rx_discarded = rx_partials = 0
@@ -712,6 +784,7 @@ class CellSimulation:
         reg.counter("tcp.packets_sent").inc(tcp.packets_sent)
         reg.counter("tcp.retransmits").inc(tcp.retransmits)
         reg.counter("tcp.rto_firings").inc(tcp.rto_firings)
+        reg.counter("tcp.ecn_ce_acks").inc(tcp.ecn_ce_acks)
         reg.gauge("tcp.cwnd_bytes.mean").set(tcp.cwnd_mean)
         reg.gauge("tcp.cwnd_bytes.max").set(tcp.cwnd_max)
         # flows ---------------------------------------------------------

@@ -22,17 +22,34 @@ from repro.phy.numerology import RadioGrid
 from repro.phy.scenarios import PEDESTRIAN, URBAN_5G, ChannelScenario
 
 
+#: TrafficSpec.kind values the flow factory dispatches on.  "incast" is
+#: the legacy multi-UE short-burst mix (section 6.3); "incast_fanin",
+#: "rpc" and "video" are the repro.traffic.workloads generators.
+TRAFFIC_KINDS = ("poisson", "incast", "incast_fanin", "rpc", "video")
+
+
 @dataclass(frozen=True)
 class TrafficSpec:
     """What downlink traffic the cell carries."""
 
     distribution: str = "lte_cellular"
     load: float = 0.6
-    kind: str = "poisson"  # "poisson" or "incast"
+    kind: str = "poisson"  # one of TRAFFIC_KINDS
     #: Incast-only knobs (section 6.3 worst case).
     incast_short_bytes: int = 8_000
     incast_short_fraction: float = 0.1
     incast_burst_flows: int = 8
+    #: incast_fanin knobs: N synchronized senders into one victim UE.
+    fanin_flows: int = 16
+    fanin_bytes: int = 20_000
+    fanin_fraction: float = 0.3
+    #: rpc knobs: request/response with a server-side think time.
+    rpc_response_bytes: int = 4_000
+    rpc_request_delay_us: int = 2_000
+    #: video knobs: DASH-style segment fetches per streaming UE.
+    video_bitrate_bps: int = 2_500_000
+    video_segment_s: float = 1.0
+    video_startup_segments: int = 2
 
 
 @dataclass(frozen=True)
@@ -106,6 +123,17 @@ class SimConfig:
     #: RTTs; 4 reproduces that regime (10 models modern servers).
     tcp_initial_cwnd: int = 4
 
+    # -- congestion control / AQM ---------------------------------------------
+    #: Sender congestion control: "cubic" (default), "dctcp", or "bbr".
+    cc: str = "cubic"
+    #: RLC-buffer AQM: "droptail" (srsENB behaviour) or "red" (ECN marking).
+    aqm: str = "droptail"
+    #: RED thresholds in queued SDUs; min == max is DCTCP-style step
+    #: marking at K (the --ecn-k shorthand, cloud-dcn-ecn's k sweep).
+    ecn_min_sdus: int = 30
+    ecn_max_sdus: int = 30
+    ecn_mark_prob: float = 1.0
+
     def __post_init__(self) -> None:
         if self.num_ues < 1:
             raise ValueError(f"need at least one UE: {self.num_ues}")
@@ -127,6 +155,23 @@ class SimConfig:
             )
         if self.backend not in ("reference", "vectorized"):
             raise ValueError(f"unknown backend: {self.backend!r}")
+        if self.traffic.kind not in TRAFFIC_KINDS:
+            raise ValueError(f"unknown traffic kind: {self.traffic.kind!r}")
+        from repro.cc import AQM_NAMES, CC_NAMES
+
+        if self.cc not in CC_NAMES:
+            raise ValueError(
+                f"unknown congestion control: {self.cc!r} (choices: {CC_NAMES})"
+            )
+        if self.aqm not in AQM_NAMES:
+            raise ValueError(
+                f"unknown aqm: {self.aqm!r} (choices: {AQM_NAMES})"
+            )
+        if not 1 <= self.ecn_min_sdus <= self.ecn_max_sdus:
+            raise ValueError(
+                f"need 1 <= ecn_min_sdus <= ecn_max_sdus: "
+                f"{self.ecn_min_sdus}, {self.ecn_max_sdus}"
+            )
 
     @property
     def tti_us(self) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
+from repro.cc.aqm import make_aqm
 from repro.core.flow_table import FlowTable
 from repro.core.mlfq import MlfqConfig
 from repro.mac.scheduler import UeSchedState
@@ -82,6 +83,7 @@ class UeContext:
             on_sdu_dropped=on_sdu_dropped,
             on_sdu_dequeued=on_sdu_dequeued,
             on_sdu_first_tx=self._number_sdu if delayed_sn else None,
+            aqm=make_aqm(config, index),
         )
         self.rlc: Union[UmTransmitter, AmTransmitter, TmTransmitter]
         self.rlc_rx: Union[UmReceiver, AmReceiver, TmReceiver]

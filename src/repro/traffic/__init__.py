@@ -8,7 +8,21 @@ from repro.traffic.distributions import (
     distribution_by_name,
 )
 from repro.traffic.generator import FlowSpec, PoissonTrafficGenerator, IncastGenerator
+from repro.traffic.nonstationary import (
+    PHASE_FLOW_ID_STRIDE,
+    LoadPhase,
+    NonStationaryLoad,
+)
 from repro.traffic.webpage import Webpage, ALEXA_TOP20, page_flow_sizes
+from repro.traffic.workloads import (
+    WORKLOAD_KINDS,
+    WORKLOADS,
+    IncastFanInGenerator,
+    RpcWorkloadGenerator,
+    VideoWorkloadGenerator,
+    rpc_latencies_ms,
+    video_rebuffer_ratio,
+)
 
 __all__ = [
     "EmpiricalDistribution",
@@ -19,6 +33,16 @@ __all__ = [
     "FlowSpec",
     "PoissonTrafficGenerator",
     "IncastGenerator",
+    "IncastFanInGenerator",
+    "RpcWorkloadGenerator",
+    "VideoWorkloadGenerator",
+    "rpc_latencies_ms",
+    "video_rebuffer_ratio",
+    "WORKLOADS",
+    "WORKLOAD_KINDS",
+    "LoadPhase",
+    "NonStationaryLoad",
+    "PHASE_FLOW_ID_STRIDE",
     "Webpage",
     "ALEXA_TOP20",
     "page_flow_sizes",

@@ -27,7 +27,7 @@ from repro.ric import (
 from repro.ric.xapp import XAPP_FACTORIES
 from repro.sim.cell import CellSimulation
 from repro.sim.config import SimConfig
-from repro.sim.webload import NonStationaryLoad
+from repro.traffic import NonStationaryLoad
 
 #: The tunable state of a default OutRAN cell (epsilon 0.2, the paper's
 #: MLFQ ladder, periodic boost disabled).
